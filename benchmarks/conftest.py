@@ -1,0 +1,80 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``test_bench_*`` module regenerates one table/figure of the paper
+at a reduced scale (a pure-Python substrate on one core cannot afford
+50 s x 30 seeds per data point), checks its qualitative shape, and
+archives the rendered ASCII table under ``benchmark_results/``.
+
+Scale selection:
+
+* default           — ``BENCH_SETTINGS`` below (seconds per figure);
+* ``REPRO_FULL=1``  — the paper's full scale (hours of CPU);
+* ``REPRO_QUICK=1`` — the smallest smoke scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.report import render_table
+from repro.experiments.settings import (
+    EvalSettings,
+    PAPER_SETTINGS,
+    QUICK_SETTINGS,
+)
+
+#: Scale used by default for `pytest benchmarks/`.
+BENCH_SETTINGS = EvalSettings(
+    duration_us=1_500_000,
+    seeds=(1, 2),
+    pm_values=(0.0, 20.0, 40.0, 60.0, 80.0, 100.0),
+    network_sizes=(1, 4, 16, 64),
+    fig8_pm_values=(40.0, 80.0),
+    random_topologies=2,
+    random_nodes=30,
+    random_misbehaving=4,
+)
+
+#: Longer horizon for the Figure 8 time series (needs several 1 s bins).
+FIG8_BENCH_SETTINGS = EvalSettings(
+    duration_us=5_000_000,
+    seeds=(1, 2),
+    fig8_pm_values=(40.0, 80.0),
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "benchmark_results"
+
+
+def bench_settings() -> EvalSettings:
+    if os.environ.get("REPRO_QUICK"):
+        return QUICK_SETTINGS
+    if os.environ.get("REPRO_FULL"):
+        return PAPER_SETTINGS
+    return BENCH_SETTINGS
+
+
+def fig8_settings() -> EvalSettings:
+    if os.environ.get("REPRO_QUICK"):
+        return QUICK_SETTINGS
+    if os.environ.get("REPRO_FULL"):
+        return PAPER_SETTINGS
+    return FIG8_BENCH_SETTINGS
+
+
+@pytest.fixture(scope="session")
+def settings() -> EvalSettings:
+    return bench_settings()
+
+
+def archive(fig) -> str:
+    """Render a figure result, save it, and return the table text."""
+    table = render_table(fig)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{fig.figure_id}.txt"
+    path.write_text(table + "\n", encoding="utf-8")
+    print()
+    print(table)
+    return table

@@ -1,0 +1,191 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper leaves three things open that this reproduction had to pin
+down; each gets an ablation here:
+
+1. **Additional-penalty form** (Section 4.2 only says it is needed):
+   flat vs proportional vs combined.  The flat/combined forms reach a
+   stable fair-share equilibrium; a strongly proportional form
+   compounds geometrically and locks moderate cheaters out.
+2. **alpha** (equation 1 tolerance): smaller alpha tolerates more
+   cheating before penalising.
+3. **Adaptive THRESH** (the paper's future work): tracks channel noise
+   and holds misdiagnosis down in the TWO-FLOW scenario without giving
+   up diagnosis of strong cheaters.
+"""
+
+from repro.core.params import ProtocolConfig
+from repro.experiments.runner import run_seeds
+from repro.experiments.scenarios import PROTOCOL_CORRECT, ScenarioConfig
+from repro.metrics.stats import mean
+from repro.net.topology import circle_topology
+
+from conftest import bench_settings
+
+MISBEHAVING = (3,)
+
+
+def run_with(config_kwargs, pm, settings, scenario_kwargs=None,
+             with_interferers=False):
+    topo = circle_topology(
+        8, misbehaving=MISBEHAVING if pm else (), pm_percent=pm,
+        with_interferers=with_interferers,
+    )
+    cfg = ScenarioConfig(
+        topology=topo,
+        protocol=PROTOCOL_CORRECT,
+        duration_us=settings.duration_us,
+        protocol_config=ProtocolConfig(**config_kwargs),
+        **(scenario_kwargs or {}),
+    )
+    return run_seeds(cfg, settings.seeds)
+
+
+def summarize(results):
+    return {
+        "msb": mean([r.msb_throughput_bps for r in results]) / 1000.0,
+        "avg": mean([r.avg_throughput_bps for r in results]) / 1000.0,
+        "diag": mean([r.correct_diagnosis_percent for r in results]),
+        "mis": mean([r.misdiagnosis_percent for r in results]),
+    }
+
+
+def test_ablation_penalty_form(benchmark):
+    """Flat vs proportional additional penalty at PM=60."""
+    settings = bench_settings()
+    forms = {
+        "none (P=D)": {"extra_penalty_factor": 0.0, "extra_penalty_slots": 0},
+        "flat+prop (default)": {},
+        "proportional (P=2D)": {
+            "extra_penalty_factor": 1.0, "extra_penalty_slots": 0,
+        },
+    }
+
+    def run_all():
+        return {
+            name: summarize(run_with(kwargs, 60.0, settings))
+            for name, kwargs in forms.items()
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, row in rows.items():
+        print(f"  {name:22s} MSB={row['msb']:7.1f}k AVG={row['avg']:7.1f}k "
+              f"diag={row['diag']:5.1f}%")
+    # Without an additional penalty the cheater keeps a clear edge...
+    assert rows["none (P=D)"]["msb"] > 1.1 * rows["none (P=D)"]["avg"]
+    # ...which the default form removes (near or below fair share).
+    assert (
+        rows["flat+prop (default)"]["msb"]
+        < 0.9 * rows["none (P=D)"]["msb"]
+    )
+    benchmark.extra_info["rows"] = rows
+
+
+def test_ablation_alpha(benchmark):
+    """Equation-1 tolerance: alpha=0.5 forgives what alpha=0.9 penalises."""
+    settings = bench_settings()
+
+    def run_all():
+        return {
+            alpha: summarize(run_with({"alpha": alpha}, 40.0, settings))
+            for alpha in (0.5, 0.9, 1.0)
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for alpha, row in rows.items():
+        print(f"  alpha={alpha:3.1f} MSB={row['msb']:7.1f}k "
+              f"AVG={row['avg']:7.1f}k diag={row['diag']:5.1f}%")
+    # A permissive alpha lets a 40% cheater keep more throughput than
+    # the paper's 0.9 does.
+    assert rows[0.5]["msb"] >= rows[0.9]["msb"] * 0.9
+    # And diagnosis weakens as alpha drops (fewer penalties feed the
+    # windowed differences).
+    assert rows[1.0]["diag"] >= rows[0.5]["diag"] * 0.5
+    benchmark.extra_info["rows"] = rows
+
+
+def test_ablation_window_thresh(benchmark):
+    """W/THRESH: a tighter threshold diagnoses milder cheating."""
+    settings = bench_settings()
+
+    def run_all():
+        return {
+            (w, thresh): summarize(
+                run_with({"window": w, "thresh": thresh}, 30.0, settings)
+            )
+            for (w, thresh) in ((5, 20), (5, 60), (10, 40))
+        }
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for (w, thresh), row in rows.items():
+        print(f"  W={w:2d} THRESH={thresh:3d} diag={row['diag']:5.1f}% "
+              f"mis={row['mis']:4.1f}%")
+    # Raising THRESH (same W) can only reduce diagnosis sensitivity.
+    assert rows[(5, 60)]["diag"] <= rows[(5, 20)]["diag"] + 1e-9
+    benchmark.extra_info["rows"] = {str(k): v for k, v in rows.items()}
+
+
+def test_ablation_adaptive_thresh(benchmark):
+    """Adaptive THRESH (future work) vs the fixed paper value.
+
+    Evaluated under TWO-FLOW where the fixed THRESH=20 misdiagnoses
+    heavily; the adaptive estimator should cut misdiagnosis while
+    keeping strong cheaters diagnosed.
+    """
+    settings = bench_settings()
+
+    def run_all():
+        out = {}
+        for label, adaptive in (("fixed", False), ("adaptive", True)):
+            out[label] = {
+                "honest": summarize(run_with(
+                    {}, 0.0, settings,
+                    scenario_kwargs={"adaptive_thresh": adaptive},
+                    with_interferers=True,
+                )),
+                "pm80": summarize(run_with(
+                    {}, 80.0, settings,
+                    scenario_kwargs={"adaptive_thresh": adaptive},
+                    with_interferers=True,
+                )),
+            }
+        return out
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for label, row in rows.items():
+        print(f"  {label:8s} honest-mis={row['honest']['mis']:5.1f}% "
+              f"pm80-diag={row['pm80']['diag']:5.1f}%")
+    assert rows["adaptive"]["honest"]["mis"] <= rows["fixed"]["honest"]["mis"]
+    assert rows["adaptive"]["pm80"]["diag"] > 60.0
+    benchmark.extra_info["rows"] = rows
+
+
+def test_ablation_basic_access(benchmark):
+    """The scheme without RTS/CTS (paper: 'can be applied even when
+    RTS/CTS exchange is not used'): detection and restraint survive."""
+    settings = bench_settings()
+
+    def run_all():
+        out = {}
+        for label, rts in (("four-way", True), ("basic", False)):
+            out[label] = summarize(run_with(
+                {}, 60.0, settings,
+                scenario_kwargs={"use_rts_cts": rts},
+            ))
+        return out
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for label, row in rows.items():
+        print(f"  {label:9s} MSB={row['msb']:7.1f}k AVG={row['avg']:7.1f}k "
+              f"diag={row['diag']:5.1f}% mis={row['mis']:4.1f}%")
+    for label, row in rows.items():
+        assert row["diag"] > 50.0, label          # cheater diagnosed
+        assert row["msb"] < 1.5 * row["avg"], label  # and restrained
+    # Basic access carries less control overhead: higher honest AVG.
+    assert rows["basic"]["avg"] > rows["four-way"]["avg"]
+    benchmark.extra_info["rows"] = rows

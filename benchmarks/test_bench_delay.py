@@ -1,0 +1,36 @@
+"""Extension bench: MAC access delay vs PM (the paper's other motive).
+
+Section 3.1 defines selfish misbehavior as seeking "higher throughput
+or lower delay"; this companion to Figure 5 checks the delay side:
+under 802.11 a cheater's access delay shrinks well below honest
+senders'; under CORRECT the penalties remove that advantage.
+"""
+
+from repro.experiments.figures import figure_delay
+
+from conftest import archive, bench_settings
+
+
+def test_delay_extension(benchmark):
+    settings = bench_settings()
+    fig = benchmark.pedantic(
+        figure_delay, args=(settings,), rounds=1, iterations=1
+    )
+    archive(fig)
+    dcf_msb = dict(fig.series["802.11 - MSB"])
+    dcf_avg = dict(fig.series["802.11 - AVG"])
+    cor_msb = dict(fig.series["CORRECT - MSB"])
+    cor_avg = dict(fig.series["CORRECT - AVG"])
+    mid = [pm for pm in sorted(dcf_msb) if 0.0 < pm <= 80.0]
+    assert mid
+    # Under 802.11 the cheater jumps the queue...
+    for pm in mid:
+        assert dcf_msb[pm] < dcf_avg[pm]
+    # ...and its advantage widens with PM.
+    assert dcf_msb[mid[-1]] / dcf_avg[mid[-1]] < dcf_msb[mid[0]] / dcf_avg[mid[0]] + 0.2
+    # Under CORRECT the penalties remove the delay advantage.
+    for pm in mid:
+        assert cor_msb[pm] > 0.8 * cor_avg[pm], (
+            f"PM={pm}: MSB delay {cor_msb[pm]:.2f} ms vs AVG {cor_avg[pm]:.2f} ms"
+        )
+    benchmark.extra_info["dcf_gap_at_mid"] = dcf_msb[mid[-1]] / dcf_avg[mid[-1]]

@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the simulator substrate itself.
+
+These are classic pytest-benchmark timings (multiple rounds) for the
+hot paths: kernel event dispatch, the medium's transmission pipeline,
+and a full saturated-cell simulation second.  They track the cost of
+the substrate that every figure harness pays.
+"""
+
+from repro.experiments.scenarios import (
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.mac.frames import Frame, FrameKind
+from repro.net.topology import circle_topology
+from repro.phy.constants import PhyTimings
+from repro.phy.medium import Medium
+from repro.phy.propagation import ShadowingModel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule + dispatch cost for 10k chained events."""
+
+    def run_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(1, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_events) == 10_000
+
+
+class _NullListener:
+    def __init__(self, node_id):
+        self.node_id = node_id
+
+    def on_channel_busy(self):
+        pass
+
+    def on_channel_idle(self):
+        pass
+
+    def on_marginal_change(self):
+        pass
+
+    def on_frame(self, frame):
+        pass
+
+    def on_frame_corrupted(self):
+        pass
+
+
+def test_medium_transmission_pipeline(benchmark):
+    """Cost of 1k transmissions through a 12-listener medium."""
+
+    def run_medium():
+        sim = Simulator()
+        registry = RngRegistry(1)
+        medium = Medium(sim, ShadowingModel(),
+                        rng=registry.stream("shadowing"),
+                        timings=PhyTimings())
+        for i in range(12):
+            medium.register(_NullListener(i), (i * 60.0, 0.0))
+        frame = Frame(kind=FrameKind.DATA, src=0, dst=1, size_bytes=512,
+                      duration_us=0, payload_bytes=512)
+        for k in range(1000):
+            sim.schedule(k * 300, lambda: medium.start_transmission(
+                0, frame, 200
+            ))
+        sim.run()
+        return medium.transmissions_started
+
+    assert benchmark(run_medium) == 1000
+
+
+def test_saturated_cell_simulation_second(benchmark):
+    """Wall time of one simulated second, 8 saturated CORRECT senders."""
+    topo = circle_topology(8, misbehaving=(3,), pm_percent=50.0)
+    config = ScenarioConfig(topology=topo, protocol=PROTOCOL_CORRECT,
+                            duration_us=1_000_000, seed=1)
+
+    result = benchmark(run_scenario, config)
+    assert result.collector.deliveries

@@ -1,0 +1,45 @@
+"""Figure 4 — diagnosis accuracy vs magnitude of misbehavior.
+
+Regenerates the correct-diagnosis and misdiagnosis curves for the
+ZERO-FLOW and TWO-FLOW scenarios and asserts the paper's qualitative
+shape: misdiagnosis near zero without interferers, diagnosis rising
+monotonically with PM and saturating near 100% for blatant cheaters,
+TWO-FLOW trading extra misdiagnosis for sensitivity.
+"""
+
+from repro.experiments.figures import figure4
+
+from conftest import archive, bench_settings
+
+
+def test_fig4_diagnosis_accuracy(benchmark):
+    settings = bench_settings()
+    fig = benchmark.pedantic(
+        figure4, args=(settings,), rounds=1, iterations=1
+    )
+    archive(fig)
+    zero_diag = dict(fig.series["ZERO-FLOW correct diagnosis"])
+    zero_mis = dict(fig.series["ZERO-FLOW misdiagnosis"])
+    two_diag = dict(fig.series["TWO-FLOW correct diagnosis"])
+    two_mis = dict(fig.series["TWO-FLOW misdiagnosis"])
+    pms = sorted(zero_diag)
+    top = pms[-1]
+
+    # No misbehavior -> no correct-diagnosis signal at all.
+    assert zero_diag[0.0] == 0.0
+    assert two_diag[0.0] == 0.0
+    # Blatant misbehavior is essentially always diagnosed.
+    assert zero_diag[top] > 90.0
+    assert two_diag[top] > 90.0
+    # Diagnosis grows broadly with PM (allow plateau noise).
+    assert zero_diag[top] >= zero_diag[pms[1]] >= zero_diag[0.0]
+    # ZERO-FLOW misdiagnosis stays small at every PM.
+    assert all(v < 12.0 for v in zero_mis.values())
+    # The TWO-FLOW tradeoff: more misdiagnosis than ZERO-FLOW.
+    mid_pms = [pm for pm in pms if 0.0 < pm < top]
+    if mid_pms:
+        assert max(two_mis[pm] for pm in mid_pms) > max(
+            zero_mis[pm] for pm in mid_pms
+        )
+    benchmark.extra_info["zero_diag_at_max_pm"] = zero_diag[top]
+    benchmark.extra_info["zero_misdiag_max"] = max(zero_mis.values())

@@ -1,0 +1,46 @@
+"""Figure 5 — throughput comparison, IEEE 802.11 vs CORRECT, vs PM.
+
+The paper's claims: under 802.11 the misbehaving node's throughput
+("802.11 - MSB") rises steeply with PM while the honest average
+("802.11 - AVG") collapses; under the proposed scheme "CORRECT - MSB"
+stays near the fair share except as PM approaches 100, and
+"CORRECT - AVG" is barely affected.
+"""
+
+from repro.experiments.figures import figure5
+
+from conftest import archive, bench_settings
+
+
+def test_fig5_throughput_comparison(benchmark):
+    settings = bench_settings()
+    fig = benchmark.pedantic(
+        figure5, args=(settings,), rounds=1, iterations=1
+    )
+    archive(fig)
+    msb_dcf = dict(fig.series["802.11 - MSB"])
+    avg_dcf = dict(fig.series["802.11 - AVG"])
+    msb_cor = dict(fig.series["CORRECT - MSB"])
+    avg_cor = dict(fig.series["CORRECT - AVG"])
+    pms = sorted(msb_dcf)
+    top = pms[-1]
+    fair = avg_dcf[0.0]
+    mid = [pm for pm in pms if 0.0 < pm <= 80.0]
+
+    # 802.11: the cheater wins big and honest nodes pay for it.
+    assert msb_dcf[top] > 3.0 * fair
+    assert avg_dcf[top] < 0.5 * fair
+    if mid:
+        worst_gain_dcf = max(msb_dcf[pm] / fair for pm in mid)
+        worst_gain_cor = max(msb_cor[pm] / fair for pm in mid)
+        # CORRECT pins the cheater near fair share where 802.11 lets
+        # it run away.
+        assert worst_gain_cor < 0.6 * worst_gain_dcf
+        assert worst_gain_cor < 2.0
+        # Honest nodes keep most of their fair share under CORRECT.
+        assert min(avg_cor[pm] for pm in mid) > 0.75 * fair
+    # At PM=100 the correction scheme cannot restrain (paper caveat):
+    assert msb_cor[top] > 2.0 * fair
+    benchmark.extra_info["fair_share_kbps"] = fair
+    benchmark.extra_info["msb_80211_at_max"] = msb_dcf[top]
+    benchmark.extra_info["msb_correct_at_max"] = msb_cor[top]

@@ -1,0 +1,37 @@
+"""Figure 6 — average throughput without misbehavior vs network size.
+
+Paper claim: "the average throughput obtained when using the proposed
+scheme is comparable with IEEE 802.11 across different network sizes
+(the two curves almost overlap)" — the correction scheme does not
+degrade network capacity.
+"""
+
+from repro.experiments.figures import figure6
+
+from conftest import archive, bench_settings
+
+
+def test_fig6_throughput_vs_network_size(benchmark):
+    settings = bench_settings()
+    fig = benchmark.pedantic(
+        figure6, args=(settings,), rounds=1, iterations=1
+    )
+    archive(fig)
+    # ZERO-FLOW is tight; TWO-FLOW cells deliver few packets at bench
+    # scale, so its per-point tolerance is wider.
+    for scenario, tolerance in (("ZERO-FLOW", 0.15), ("TWO-FLOW", 0.30)):
+        dcf = dict(fig.series[f"{scenario} 802.11"])
+        cor = dict(fig.series[f"{scenario} CORRECT"])
+        for n in sorted(dcf):
+            if dcf[n] <= 0:
+                continue
+            # The curves "almost overlap".
+            assert abs(cor[n] - dcf[n]) / dcf[n] < tolerance, (
+                f"{scenario} n={n}: 802.11={dcf[n]:.1f} CORRECT={cor[n]:.1f}"
+            )
+        sizes = sorted(dcf)
+        # Per-sender throughput falls as contention grows.
+        assert dcf[sizes[0]] > dcf[sizes[-1]]
+    benchmark.extra_info["sizes"] = sorted(
+        dict(fig.series["ZERO-FLOW 802.11"])
+    )

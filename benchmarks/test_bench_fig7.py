@@ -1,0 +1,39 @@
+"""Figure 7 — Jain's fairness index vs network size (no misbehavior).
+
+Paper claims: for ZERO-FLOW the fairness index of the correction
+scheme is comparable to IEEE 802.11; for TWO-FLOW it may be slightly
+lower (occasional false deviations earn small penalties), but stays
+close.
+"""
+
+from repro.experiments.figures import figure7
+
+from conftest import archive, bench_settings
+
+
+def test_fig7_fairness_vs_network_size(benchmark):
+    settings = bench_settings()
+    fig = benchmark.pedantic(
+        figure7, args=(settings,), rounds=1, iterations=1
+    )
+    archive(fig)
+    for scenario in ("ZERO-FLOW", "TWO-FLOW"):
+        dcf = dict(fig.series[f"{scenario} 802.11"])
+        cor = dict(fig.series[f"{scenario} CORRECT"])
+        for n in sorted(dcf):
+            assert 0.0 < dcf[n] <= 1.0
+            assert 0.0 < cor[n] <= 1.0
+            # "Comparable": within 0.15 of the baseline at every size
+            # (the paper's curves differ by a few hundredths).
+            assert abs(cor[n] - dcf[n]) < 0.15, (
+                f"{scenario} n={n}: 802.11={dcf[n]:.3f} CORRECT={cor[n]:.3f}"
+            )
+        # A single sender is trivially fair.
+        if 1 in dcf:
+            assert dcf[1] > 0.999
+            assert cor[1] > 0.999
+    benchmark.extra_info["zero_flow_gap_max"] = max(
+        abs(dict(fig.series["ZERO-FLOW CORRECT"])[n]
+            - dict(fig.series["ZERO-FLOW 802.11"])[n])
+        for n in dict(fig.series["ZERO-FLOW 802.11"])
+    )

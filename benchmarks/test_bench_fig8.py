@@ -1,0 +1,36 @@
+"""Figure 8 — responsiveness of the diagnosis scheme over time.
+
+Paper claims: measured in 1-second bins under TWO-FLOW, the correct
+diagnosis percentage rapidly reaches a PM-dependent plateau — above
+90% for PM=80, lower (around 60%) for PM=40.
+"""
+
+from repro.experiments.figures import figure8
+from repro.metrics.stats import mean
+
+from conftest import archive, fig8_settings
+
+
+def test_fig8_diagnosis_responsiveness(benchmark):
+    settings = fig8_settings()
+    fig = benchmark.pedantic(
+        figure8, args=(settings,), rounds=1, iterations=1
+    )
+    archive(fig)
+    pm_values = sorted(settings.fig8_pm_values)
+    plateaus = {}
+    for pm in pm_values:
+        series = fig.ys(f"PM={pm:.0f}%")
+        assert len(series) >= 2
+        # Plateau = mean of bins after the first (the ramp-up bin).
+        plateaus[pm] = mean(series[1:])
+        assert all(0.0 <= y <= 100.0 for y in series)
+    strongest = pm_values[-1]
+    # Large misbehavior is diagnosed at a consistently high rate...
+    assert plateaus[strongest] > 80.0
+    # ...and the plateau is ordered by the extent of misbehavior.
+    assert plateaus[strongest] >= plateaus[pm_values[0]]
+    # Responsiveness: already diagnosing within the first bins.
+    first_bins = fig.ys(f"PM={strongest:.0f}%")[:2]
+    assert max(first_bins) > 50.0
+    benchmark.extra_info["plateaus"] = plateaus

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Drive-by cheater: why the diagnosis window must be small.
+
+The paper rejects long-horizon behavioural profiling because "it may
+not be feasible to monitor the behavior of senders over a large
+sequence of transmissions when the node mobility is high".  Its W=5
+window needs only a handful of packets.  This example drives a PM=90
+cheater through a cell at increasing speeds and reports how much of
+its traffic stood diagnosed while it was in range.
+
+Run:
+    python examples/driveby_mobility.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PartialCountdownPolicy
+from repro.mac.correct import CorrectMac
+from repro.metrics.collector import MetricsCollector
+from repro.net import LinearMobility
+from repro.net.node import build_node
+from repro.net.traffic import BackloggedSource
+from repro.phy.constants import PhyTimings
+from repro.phy.medium import Medium
+from repro.phy.propagation import ShadowingModel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+SIM_SECONDS = 4
+PM = 90.0
+
+
+def run(speed_mps: float, seed: int = 1):
+    sim = Simulator()
+    registry = RngRegistry(seed)
+    medium = Medium(sim, ShadowingModel(), rng=registry.stream("shadowing"),
+                    timings=PhyTimings())
+    collector = MetricsCollector(misbehaving={2})
+    receiver = CorrectMac(sim, medium, 0, registry, collector)
+    honest = CorrectMac(sim, medium, 1, registry, collector)
+    cheater = CorrectMac(sim, medium, 2, registry, collector,
+                         policy=PartialCountdownPolicy(PM))
+    build_node(medium, receiver, (0.0, 0.0))
+    build_node(medium, honest, (150.0, 0.0), BackloggedSource(0)).start()
+    build_node(medium, cheater, (-240.0, 0.0), BackloggedSource(0)).start()
+    LinearMobility(sim, medium, 2, velocity_mps=(speed_mps, 0.0))
+    sim.run(until=SIM_SECONDS * 1_000_000)
+    return collector, medium.position_of(2)
+
+
+def main() -> None:
+    print(f"A PM={PM:.0f}% cheater enters the cell edge (-240 m) and "
+          f"drives through at various speeds; {SIM_SECONDS}s simulated.")
+    print()
+    print(f"{'speed':>8} | {'contact packets':>15} | {'diagnosed':>9} | "
+          f"{'cheater Kbps':>12} | final x")
+    for speed in (0.0, 10.0, 30.0, 60.0):
+        collector, (x, _) = run(speed)
+        stats = collector.flows[2]
+        frac = (100.0 * stats.diagnosed_packets / stats.delivered_packets
+                if stats.delivered_packets else 0.0)
+        kbps = stats.delivered_bytes * 8 / SIM_SECONDS / 1000
+        print(f"{speed:5.0f} m/s | {stats.delivered_packets:15d} | "
+              f"{frac:8.1f}% | {kbps:12.1f} | {x:+6.0f} m")
+    print()
+    print("Even the fastest fly-through leaves dozens of exchanges in the")
+    print("receiver's W=5 window — ample for diagnosis.  A long-horizon")
+    print("profiling approach would never accumulate enough history.")
+
+
+if __name__ == "__main__":
+    main()

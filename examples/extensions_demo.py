@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""The paper's Section 4.4 extensions, exercised end to end.
+
+Three defences beyond the core scheme:
+
+1. **Attempt-number audit** — a cheater that under-reports its RTS
+   attempt number (to shrink the receiver's reconstructed B_exp) is
+   exposed by intentional RTS drops: if the retry does not increment
+   the attempt number, that is immediate proof of misbehavior.
+2. **Receiver audit via g** — in ad hoc networks the *receiver* may
+   cheat by assigning tiny backoffs to a favoured sender.  When
+   assignments derive from the well-known deterministic function g,
+   the sender can recompute the honest value and detect
+   under-assignment.
+3. **Adaptive THRESH** — the paper defers adaptive parameter selection
+   to future work; the implementation tracks honest-difference noise
+   and re-derives THRESH, cutting TWO-FLOW misdiagnosis.
+4. **Address spoofing + authentication** — a cheater that rotates MAC
+   addresses dilutes its per-sender history; a higher-layer identity
+   resolver collapses the aliases and restores detection.
+5. **Collusion + third-party observer** — a receiver covering for its
+   sender is exposed by a passive observer that re-runs equation 1
+   from its own vantage point.
+
+Run:
+    python examples/extensions_demo.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    AttemptLyingPolicy,
+    ProtocolConfig,
+    ReceiverAuditor,
+    g_assignment,
+)
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.mac.correct import CorrectMac
+from repro.metrics.collector import MetricsCollector
+from repro.net import circle_topology
+from repro.net.node import build_node
+from repro.net.traffic import BackloggedSource
+from repro.phy.constants import PhyTimings
+from repro.phy.medium import Medium
+from repro.phy.propagation import ShadowingModel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def demo_attempt_audit() -> None:
+    print("=" * 70)
+    print("1. Attempt-number audit (intentional RTS drops)")
+    print("=" * 70)
+    sim = Simulator()
+    registry = RngRegistry(11)
+    medium = Medium(sim, ShadowingModel(sigma_db=0.0),
+                    rng=registry.stream("shadowing"), timings=PhyTimings())
+    collector = MetricsCollector(misbehaving={1})
+    receiver = CorrectMac(sim, medium, 0, registry, collector,
+                          enable_attempt_audit=True)
+    receiver.attempt_auditor.drop_probability = 0.1
+    receiver.attempt_auditor.suspicion_threshold = 5
+    liar = CorrectMac(sim, medium, 1, registry, collector,
+                      policy=AttemptLyingPolicy(50.0))
+    build_node(medium, receiver, (0.0, 0.0))
+    node = build_node(medium, liar, (150.0, 0.0),
+                      BackloggedSource(0, 512))
+    node.start()
+    sim.run(until=3_000_000)
+    auditor = receiver.attempt_auditor
+    print(f"  RTS probes issued:   {auditor.drops_issued}")
+    print(f"  audits completed:    {auditor.audits_completed}")
+    print(f"  proof of misbehavior: "
+          f"{'YES — sender 1 banned' if auditor.is_proven(1) else 'no'}")
+    print(f"  (liar reported attempt=1 on every RTS; after a deliberate "
+          f"drop its retry failed to show attempt+1)")
+    print()
+
+
+def demo_receiver_audit() -> None:
+    print("=" * 70)
+    print("2. Receiver honesty audit via the deterministic function g")
+    print("=" * 70)
+    # A cheating receiver hands out tiny backoffs to pull data faster.
+    rng = random.Random(3)
+    auditor = ReceiverAuditor(receiver_id=9, sender_id=4)
+    caught = 0
+    for seq in range(12):
+        honest = g_assignment(9, 4, seq)
+        cheaty = min(honest, rng.randint(0, 3))  # under-assign
+        verdict = auditor.check_assignment(cheaty, counter=seq)
+        mark = "VIOLATION" if verdict.receiver_misbehaving else "ok"
+        caught += verdict.receiver_misbehaving
+        print(f"  pkt {seq:2d}: assigned={cheaty:2d} honest-g={honest:2d} "
+              f"-> {mark:9s} (sender waits {verdict.corrected_backoff})")
+    print(f"  {caught}/12 under-assignments detected; the sender simply "
+          f"waits the honest g value instead.")
+    print()
+
+
+def demo_adaptive_thresh() -> None:
+    print("=" * 70)
+    print("3. Adaptive THRESH under TWO-FLOW channel noise")
+    print("=" * 70)
+    for label, adaptive in (("fixed THRESH=20", False), ("adaptive", True)):
+        topo = circle_topology(8, with_interferers=True)
+        result = run_scenario(ScenarioConfig(
+            topology=topo, protocol="correct", duration_us=3_000_000,
+            seed=5, adaptive_thresh=adaptive,
+            protocol_config=ProtocolConfig(),
+        ))
+        print(f"  {label:16s}: misdiagnosis of honest senders = "
+              f"{result.misdiagnosis_percent:5.1f}%")
+    print("  The estimator tracks the noise of honest B_exp - B_act")
+    print("  differences and raises THRESH just enough to absorb it.")
+    print()
+
+
+def demo_spoofing() -> None:
+    print("=" * 70)
+    print("4. Address spoofing vs higher-layer authentication")
+    print("=" * 70)
+    from repro.core import PartialCountdownPolicy
+    from repro.mac.spoofing import AuthenticatingReceiverMac, SpoofingSenderMac
+
+    aliases = (201, 202, 203, 204, 205, 206)
+    for label, resolver in (
+        ("no authentication", None),
+        ("with authentication",
+         lambda addr: 3 if addr in aliases else addr),
+    ):
+        sim = Simulator()
+        registry = RngRegistry(21)
+        medium = Medium(sim, ShadowingModel(sigma_db=0.0),
+                        rng=registry.stream("shadowing"), timings=PhyTimings())
+        collector = MetricsCollector(misbehaving={3})
+        receiver = AuthenticatingReceiverMac(
+            sim, medium, 0, registry, collector, identity_resolver=resolver,
+        )
+        honest = CorrectMac(sim, medium, 1, registry, collector)
+        spoofer = SpoofingSenderMac(
+            sim, medium, 3, registry, collector, aliases=aliases,
+            policy=PartialCountdownPolicy(80.0),
+        )
+        build_node(medium, receiver, (0.0, 0.0))
+        build_node(medium, honest, (150.0, 0.0),
+                   BackloggedSource(0, 512)).start()
+        build_node(medium, spoofer, (-150.0, 0.0),
+                   BackloggedSource(0, 512)).start()
+        sim.run(until=2_000_000)
+        cheat = sum(collector.throughput_bps(a, 2_000_000)
+                    for a in aliases + (3,))
+        honest_tp = collector.throughput_bps(1, 2_000_000)
+        flagged = [s for s, m in receiver._monitors.items()
+                   if m.is_misbehaving]
+        print(f"  {label:20s}: cheater={cheat / 1000:6.1f}k vs "
+              f"honest={honest_tp / 1000:6.1f}k; diagnosed ids: "
+              f"{flagged or 'none'}")
+    print("  The resolver folds all six aliases into principal 3: one")
+    print("  deep monitor accumulates the history the aliases diluted.")
+    print()
+
+
+def demo_collusion_observer() -> None:
+    print("=" * 70)
+    print("5. Collusion exposed by a passive third-party observer")
+    print("=" * 70)
+    from repro.core import PartialCountdownPolicy
+    from repro.mac.observer import ObserverMac
+
+    colluding = ProtocolConfig(alpha=0.01)  # receiver never penalises
+    sim = Simulator()
+    registry = RngRegistry(31)
+    medium = Medium(sim, ShadowingModel(sigma_db=0.0),
+                    rng=registry.stream("shadowing"), timings=PhyTimings())
+    collector = MetricsCollector(misbehaving={1})
+    receiver = CorrectMac(sim, medium, 0, registry, collector,
+                          config=colluding)
+    cheater = CorrectMac(sim, medium, 1, registry, collector,
+                         policy=PartialCountdownPolicy(80.0))
+    bystander = CorrectMac(sim, medium, 2, registry, collector)
+    observer = ObserverMac(sim, medium, 9, registry, collector,
+                           watch=((1, 0), (2, 0)))
+    build_node(medium, receiver, (0.0, 0.0))
+    build_node(medium, cheater, (150.0, 0.0),
+               BackloggedSource(0, 512)).start()
+    build_node(medium, bystander, (-150.0, 0.0),
+               BackloggedSource(0, 512)).start()
+    build_node(medium, observer, (30.0, 30.0))
+    sim.run(until=3_000_000)
+    for (s, r), entry in sorted(observer.report().items()):
+        print(f"  pair sender={s} receiver={r}: packets={entry['packets']}, "
+              f"deviations={entry['deviations']}, "
+              f"unpenalised={entry['unpenalised_deviations']}, "
+              f"colluding={'YES' if entry['colluding'] else 'no'}")
+    print("  The receiver itself reports nothing (alpha rigged to 0.01);")
+    print("  the observer independently sees every deviation and notices")
+    print("  that the assignments never carry a penalty.")
+    print()
+
+
+def main() -> None:
+    demo_attempt_audit()
+    demo_receiver_audit()
+    demo_adaptive_thresh()
+    demo_spoofing()
+    demo_collusion_observer()
+
+
+if __name__ == "__main__":
+    main()

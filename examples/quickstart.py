@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: catch a backoff cheater in a simulated 802.11 cell.
+
+Builds the paper's core scenario — eight saturated senders around one
+receiver, with sender 3 counting down only 40% of each assigned
+backoff (PM = 60) — runs it once under the modified (CORRECT)
+protocol, and prints what the receiver concluded.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.net import circle_topology
+
+SIM_SECONDS = 5
+CHEATER = 3
+PM = 60.0  # counts down only 40% of every assigned backoff
+
+
+def main() -> None:
+    topology = circle_topology(
+        n_senders=8, misbehaving=(CHEATER,), pm_percent=PM
+    )
+    config = ScenarioConfig(
+        topology=topology,
+        protocol="correct",
+        duration_us=SIM_SECONDS * 1_000_000,
+        seed=1,
+    )
+    print(f"Simulating {SIM_SECONDS}s: 8 saturated senders, "
+          f"sender {CHEATER} misbehaving at PM={PM:.0f}% ...")
+    result = run_scenario(config)
+
+    print()
+    print("Per-sender throughput (Kbps):")
+    for sender, bps in sorted(result.throughputs().items()):
+        tag = "  <-- misbehaving" if sender == CHEATER else ""
+        print(f"  sender {sender}: {bps / 1000:8.1f}{tag}")
+
+    print()
+    print(f"Honest average (AVG):        {result.avg_throughput_bps/1000:8.1f} Kbps")
+    print(f"Misbehaving sender (MSB):    {result.msb_throughput_bps/1000:8.1f} Kbps")
+    print(f"Jain fairness index:         {result.fairness_index:8.3f}")
+    print(f"Correct diagnosis:           {result.correct_diagnosis_percent:7.1f} %"
+          f"  (packets from the cheater flagged by W/THRESH)")
+    print(f"Misdiagnosis:                {result.misdiagnosis_percent:7.1f} %"
+          f"  (honest packets wrongly flagged)")
+
+    stats = result.collector.flows[CHEATER]
+    print()
+    print(f"The receiver observed {stats.deviations} equation-1 deviations "
+          f"from sender {CHEATER} over {stats.delivered_packets} packets and "
+          f"assigned {stats.penalty_slots} total penalty slots.")
+    print("Despite cheating on every backoff, the correction scheme holds "
+          "the cheater at (or below) its fair share — under plain 802.11 "
+          "it would be taking a multiple of it.")
+
+
+if __name__ == "__main__":
+    main()

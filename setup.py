@@ -1,0 +1,8 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so
+PEP 517 editable installs fail; `python setup.py develop` / `pip install
+-e . --no-build-isolation` use this legacy path instead.  All metadata
+lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

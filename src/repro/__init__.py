@@ -1,0 +1,43 @@
+"""repro: reproduction of "Detection and Handling of MAC Layer
+Misbehavior in Wireless Networks" (Kyasanur & Vaidya, DSN 2003).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's contribution as pure protocol logic
+  (receiver-assigned backoff, equation-1 deviation checks, correction
+  penalties, W/THRESH diagnosis, deterministic functions f and g, and
+  misbehavior policies);
+* :mod:`repro.sim` / :mod:`repro.phy` / :mod:`repro.mac` /
+  :mod:`repro.net` — the substrate: an event kernel, the shadowing
+  channel with per-slot probabilistic carrier sense, a full IEEE
+  802.11 DCF MAC plus the modified (CORRECT) MAC, traffic and
+  topologies;
+* :mod:`repro.metrics` and :mod:`repro.experiments` — the evaluation
+  harness that regenerates every figure in the paper.
+
+Quickstart::
+
+    from repro.experiments import ScenarioConfig, run_scenario
+    from repro.net import circle_topology
+
+    topo = circle_topology(8, misbehaving=(3,), pm_percent=60.0)
+    result = run_scenario(ScenarioConfig(topology=topo, duration_us=5_000_000))
+    print(result.correct_diagnosis_percent, result.msb_throughput_bps)
+"""
+
+from repro.core import PAPER_CONFIG, ProtocolConfig, SenderMonitor
+from repro.experiments import ScenarioConfig, run_scenario
+from repro.net import circle_topology, random_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PAPER_CONFIG",
+    "ProtocolConfig",
+    "SenderMonitor",
+    "ScenarioConfig",
+    "run_scenario",
+    "circle_topology",
+    "random_topology",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands
+-----------
+``figures [ids...]``
+    Regenerate paper figures at the environment-selected scale
+    (``REPRO_QUICK`` / default / ``REPRO_FULL``) and print ASCII
+    tables.
+
+``run``
+    Run a single scenario and print its metrics.  Useful for poking at
+    parameter choices without writing a script::
+
+        python -m repro run --pm 60 --protocol correct --seconds 5
+        python -m repro run --pm 80 --protocol 802.11 --interferers
+
+``theory``
+    Print the Bianchi saturation predictions next to simulated values
+    for a sweep of network sizes (substrate validation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.bianchi import saturation_throughput
+from repro.experiments import (
+    ALL_FIGURES,
+    ScenarioConfig,
+    active_settings,
+    run_scenario,
+)
+from repro.experiments.report import print_figure
+from repro.net import circle_topology
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    wanted = args.ids or list(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figure ids: {unknown}; known: {list(ALL_FIGURES)}",
+              file=sys.stderr)
+        return 2
+    settings = active_settings()
+    for figure_id in wanted:
+        fig = ALL_FIGURES[figure_id](settings)
+        print_figure(fig)
+        if args.plot:
+            from repro.experiments.plots import print_plot
+
+            print()
+            print_plot(fig)
+        print()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    misbehaving = (args.cheater,) if args.pm > 0 else ()
+    topo = circle_topology(
+        args.senders, misbehaving=misbehaving, pm_percent=args.pm,
+        with_interferers=args.interferers,
+    )
+    config = ScenarioConfig(
+        topology=topo, protocol=args.protocol,
+        duration_us=int(args.seconds * 1_000_000), seed=args.seed,
+    )
+    result = run_scenario(config)
+    print(f"protocol={args.protocol} senders={args.senders} PM={args.pm:g}% "
+          f"seed={args.seed} t={args.seconds:g}s")
+    print(f"  AVG (honest mean):  {result.avg_throughput_bps / 1000:9.1f} Kbps")
+    if misbehaving:
+        print(f"  MSB (cheater):      {result.msb_throughput_bps / 1000:9.1f} Kbps")
+        print(f"  correct diagnosis:  {result.correct_diagnosis_percent:8.1f} %")
+    print(f"  misdiagnosis:       {result.misdiagnosis_percent:8.1f} %")
+    print(f"  fairness (Jain):    {result.fairness_index:9.3f}")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.experiments import PROTOCOL_80211
+
+    print(f"{'n':>3} | {'Bianchi (Kbps)':>14} | {'simulated (Kbps)':>16} | err")
+    for n in args.sizes:
+        predicted = saturation_throughput(n).throughput_bps
+        topo = circle_topology(n)
+        result = run_scenario(ScenarioConfig(
+            topology=topo, protocol=PROTOCOL_80211,
+            duration_us=int(args.seconds * 1_000_000), seed=1,
+        ))
+        simulated = sum(result.throughputs().values())
+        err = 100.0 * (simulated - predicted) / predicted
+        print(f"{n:3d} | {predicted / 1000:14.1f} | {simulated / 1000:16.1f} "
+              f"| {err:+5.1f}%")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="MAC-layer misbehavior reproduction (DSN 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper figures")
+    p_fig.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    p_fig.add_argument("--plot", action="store_true",
+                       help="also draw ASCII charts")
+    p_fig.set_defaults(func=_cmd_figures)
+
+    p_run = sub.add_parser("run", help="run one scenario")
+    p_run.add_argument("--protocol", choices=("802.11", "correct"),
+                       default="correct")
+    p_run.add_argument("--senders", type=int, default=8)
+    p_run.add_argument("--pm", type=float, default=0.0,
+                       help="percentage of misbehavior of the cheater")
+    p_run.add_argument("--cheater", type=int, default=3)
+    p_run.add_argument("--interferers", action="store_true",
+                       help="enable the TWO-FLOW interferer flows")
+    p_run.add_argument("--seconds", type=float, default=5.0)
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_theory = sub.add_parser("theory", help="Bianchi model vs simulator")
+    p_theory.add_argument("--sizes", type=int, nargs="+",
+                          default=[1, 2, 4, 8, 16])
+    p_theory.add_argument("--seconds", type=float, default=2.0)
+    p_theory.set_defaults(func=_cmd_theory)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

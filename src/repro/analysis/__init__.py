@@ -1,0 +1,9 @@
+"""Analytical models used to validate the simulator substrate."""
+
+from repro.analysis.bianchi import (
+    SaturationPrediction,
+    saturation_throughput,
+    solve_tau,
+)
+
+__all__ = ["SaturationPrediction", "saturation_throughput", "solve_tau"]

@@ -1,0 +1,69 @@
+"""The paper's contribution as a simulator-independent library.
+
+Everything here is pure protocol logic: equation 1 deviation checks,
+the correction penalty, the W/THRESH diagnosis window, the
+deterministic backoff functions ``f`` and ``g``, sender (mis)behaviour
+policies, and the receiver-side :class:`SenderMonitor` that composes
+them.  The MAC layer (:mod:`repro.mac`) adapts these onto simulated
+frames and timers.
+"""
+
+from repro.core.adaptive import AdaptiveThreshold
+from repro.core.attempt_verify import AttemptAuditor, AuditOutcome
+from repro.core.backoff_function import (
+    contention_window,
+    expected_backoff_sum,
+    f_fraction,
+    f_raw,
+    g_assignment,
+    retry_backoff,
+)
+from repro.core.correction import compute_penalty, next_assignment
+from repro.core.deviation import DeviationVerdict, check_deviation
+from repro.core.diagnosis import DiagnosisWindow
+from repro.core.monitor import RtsVerdict, SenderMonitor
+from repro.core.params import PAPER_CONFIG, ProtocolConfig
+from repro.core.receiver_verify import ReceiverAuditor, ReceiverAuditVerdict
+from repro.core.sender_policy import (
+    AttemptLyingPolicy,
+    ConformingPolicy,
+    NoDoublingPolicy,
+    PartialCountdownPolicy,
+    ShrunkenWindowPolicy,
+    policy_for_pm,
+)
+from repro.core.smart_cheaters import (
+    PenaltyRespectingCheaterPolicy,
+    ThresholdAwareCheaterPolicy,
+)
+
+__all__ = [
+    "AdaptiveThreshold",
+    "AttemptAuditor",
+    "AuditOutcome",
+    "contention_window",
+    "expected_backoff_sum",
+    "f_fraction",
+    "f_raw",
+    "g_assignment",
+    "retry_backoff",
+    "compute_penalty",
+    "next_assignment",
+    "DeviationVerdict",
+    "check_deviation",
+    "DiagnosisWindow",
+    "RtsVerdict",
+    "SenderMonitor",
+    "PAPER_CONFIG",
+    "ProtocolConfig",
+    "ReceiverAuditor",
+    "ReceiverAuditVerdict",
+    "AttemptLyingPolicy",
+    "ConformingPolicy",
+    "NoDoublingPolicy",
+    "PartialCountdownPolicy",
+    "ShrunkenWindowPolicy",
+    "policy_for_pm",
+    "PenaltyRespectingCheaterPolicy",
+    "ThresholdAwareCheaterPolicy",
+]

@@ -1,0 +1,111 @@
+"""Adaptive THRESH selection (the paper's deferred future work).
+
+Section 4.3: "The parameter THRESH used in the protocol may be
+adaptively selected, based on the channel conditions, to maximize the
+probability of correct diagnosis of misbehavior, while minimizing the
+probability of false diagnosis (we defer adaptive selection to future
+work)."  We implement the natural design and evaluate it in the
+ablation bench.
+
+Idea: under the null hypothesis (honest sender), each per-packet
+difference ``B_exp - B_act`` is a noisy, roughly symmetric variable
+whose spread reflects current channel asymmetry (e.g. the TWO-FLOW
+interferers).  The windowed sum of ``W`` such differences is then
+approximately normal with mean ``W*mu`` and variance ``W*var``.
+Choosing::
+
+    THRESH = W*mu + z_(1-target_false_rate) * sqrt(W*var)
+
+keeps the per-packet misdiagnosis probability near the target
+regardless of channel conditions, while letting THRESH drop close to
+zero on clean channels (catching milder misbehavior than the fixed
+paper value of 20 slots).
+
+Estimates of ``mu``/``var`` come from exponentially weighted moments
+over *all* monitored senders.  A persistent cheater does inflate the
+estimate slightly; the ``clamp`` bounds limit how far it can drag the
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.phy.propagation import normal_quantile
+
+
+class AdaptiveThreshold:
+    """EWMA-based adaptive THRESH estimator.
+
+    Parameters
+    ----------
+    window:
+        ``W`` of the diagnosis scheme (the sum length THRESH bounds).
+    target_false_rate:
+        Desired probability that an honest sender's windowed sum
+        exceeds the threshold (per packet).
+    ewma_alpha:
+        Smoothing factor for the moment estimates (0 < alpha <= 1).
+    min_thresh / max_thresh:
+        Clamp bounds in slots; the defaults span "very clean channel"
+        to "several times the paper's fixed setting".
+    """
+
+    def __init__(
+        self,
+        window: int = 5,
+        target_false_rate: float = 0.01,
+        ewma_alpha: float = 0.05,
+        min_thresh: float = 4.0,
+        max_thresh: float = 80.0,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < target_false_rate < 0.5:
+            raise ValueError("target_false_rate must be in (0, 0.5)")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if min_thresh > max_thresh:
+            raise ValueError("min_thresh must be <= max_thresh")
+        self.window = window
+        self.target_false_rate = target_false_rate
+        self.ewma_alpha = ewma_alpha
+        self.min_thresh = min_thresh
+        self.max_thresh = max_thresh
+        self._z = normal_quantile(1.0 - target_false_rate)
+        self._mean = 0.0
+        self._var = 1.0
+        self._initialised = False
+        self.samples = 0
+
+    def update(self, difference: float) -> None:
+        """Feed one per-packet ``B_exp - B_act`` observation."""
+        self.samples += 1
+        if not self._initialised:
+            self._mean = difference
+            self._var = 1.0
+            self._initialised = True
+            return
+        a = self.ewma_alpha
+        delta = difference - self._mean
+        self._mean += a * delta
+        # EW variance of the innovation (standard EWMA second moment).
+        self._var = (1.0 - a) * (self._var + a * delta * delta)
+
+    @property
+    def mean(self) -> float:
+        """Current estimate of the per-packet difference mean."""
+        return self._mean
+
+    @property
+    def std(self) -> float:
+        """Current estimate of the per-packet difference std deviation."""
+        return math.sqrt(max(self._var, 0.0))
+
+    def current_thresh(self) -> float:
+        """THRESH to use right now, given the tracked channel noise."""
+        if not self._initialised:
+            # No evidence yet: fall back to the paper's fixed setting.
+            return 20.0
+        raw = self.window * self._mean + self._z * math.sqrt(self.window * max(self._var, 0.0))
+        return min(max(raw, self.min_thresh), self.max_thresh)

@@ -1,0 +1,133 @@
+"""Attempt-number audit via intentional RTS drops (Section 4.1).
+
+A sender could advertise incorrect attempt numbers to distort the
+receiver's reconstruction of ``B_exp``.  The paper's countermeasure:
+during high-collision intervals the receiver occasionally *drops* an
+RTS from a suspect sender (does not answer with a CTS) and verifies
+that the retransmitted RTS carries the incremented attempt number.
+Because the sender cannot distinguish an intentional drop from a
+collision, "even a single failure to increment the attempt number in
+the retransmission is an immediate proof of misbehavior".
+
+:class:`AttemptAuditor` implements the receiver side.  The hosting MAC
+asks :meth:`should_drop` before answering an RTS; if told to drop, it
+stays silent and reports the next RTS from that sender through
+:meth:`on_next_rts`, which returns the audit verdict.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class _PendingAudit:
+    """An intentional drop awaiting the sender's retransmission."""
+
+    dropped_attempt: int
+
+
+@dataclass(frozen=True)
+class AuditOutcome:
+    """Result of one completed audit probe.
+
+    ``proof_of_misbehavior`` is True when the retransmitted RTS failed
+    to increment the attempt number — conclusive evidence per the
+    paper.  ``consistent`` probes exonerate the sender for this round.
+    """
+
+    sender_id: int
+    expected_attempt: int
+    observed_attempt: int
+    proof_of_misbehavior: bool
+
+
+class AttemptAuditor:
+    """Receiver-side attempt-number verification.
+
+    Parameters
+    ----------
+    rng:
+        Random stream deciding which RTSs to probe.
+    drop_probability:
+        Chance of auditing any given eligible RTS.  Kept small so the
+        probe cost ("dropping RTS packets occasionally will not
+        significantly affect throughput") stays negligible.
+    suspicion_threshold:
+        Minimum number of packets from a sender before it becomes
+        eligible — mirrors the paper's "analyze the traffic to
+        identify senders with smaller average attempt values" in a
+        simple form: auditing only establishes itself once there is a
+        history to be suspicious about.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        drop_probability: float = 0.01,
+        suspicion_threshold: int = 10,
+    ):
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if suspicion_threshold < 0:
+            raise ValueError("suspicion_threshold must be >= 0")
+        self.rng = rng
+        self.drop_probability = drop_probability
+        self.suspicion_threshold = suspicion_threshold
+        self._pending: Dict[int, _PendingAudit] = {}
+        self._packets_seen: Dict[int, int] = {}
+        #: Senders proven to misbehave (permanent, per the paper).
+        self.proven_misbehaving: set[int] = set()
+        #: Completed audits, for metrics and tests.
+        self.audits_completed = 0
+        self.drops_issued = 0
+
+    def should_drop(self, sender_id: int, attempt: int) -> bool:
+        """Decide whether to intentionally ignore this RTS.
+
+        Must be called for every RTS *before* responding.  Returns True
+        when the receiver should stay silent and await the retry.
+        """
+        self._packets_seen[sender_id] = self._packets_seen.get(sender_id, 0) + 1
+        if sender_id in self._pending:
+            # An audit is in flight; never stack a second drop on it.
+            return False
+        if self._packets_seen[sender_id] < self.suspicion_threshold:
+            return False
+        if self.rng.random() >= self.drop_probability:
+            return False
+        self._pending[sender_id] = _PendingAudit(dropped_attempt=attempt)
+        self.drops_issued += 1
+        return True
+
+    def on_next_rts(self, sender_id: int, attempt: int) -> Optional[AuditOutcome]:
+        """Check the first RTS following an intentional drop.
+
+        Returns None when no audit was pending for this sender.
+        """
+        pending = self._pending.pop(sender_id, None)
+        if pending is None:
+            return None
+        expected = pending.dropped_attempt + 1
+        # A retry limit reset (attempt back to 1 after a drop cycle)
+        # is legitimate only if the sender exhausted retries; with the
+        # usual limit of 7 a single drop cannot cause that from
+        # attempt 1, but be conservative for attempts near the limit.
+        proof = attempt < expected and not (
+            pending.dropped_attempt >= 7 and attempt == 1
+        )
+        self.audits_completed += 1
+        if proof:
+            self.proven_misbehaving.add(sender_id)
+        return AuditOutcome(
+            sender_id=sender_id,
+            expected_attempt=expected,
+            observed_attempt=attempt,
+            proof_of_misbehavior=proof,
+        )
+
+    def is_proven(self, sender_id: int) -> bool:
+        """Whether the sender has conclusively proven itself misbehaving."""
+        return sender_id in self.proven_misbehaving

@@ -1,0 +1,139 @@
+"""Deterministic backoff functions shared by sender and receiver.
+
+Section 4.1 of the paper replaces the random retransmission backoff of
+IEEE 802.11 with a *deterministic* function ``f`` so the receiver can
+reconstruct exactly how long a retrying sender should have waited::
+
+    f(backoff, nodeId, attempt) = (a*X + c) mod (CWmin + 1)
+    a = 5,  c = 2*attempt + 1,  X = (backoff + nodeId) mod (CWmin + 1)
+
+``f`` produces an integer in ``[0, CWmin]``; dividing by ``CWmin``
+yields a fraction in ``[0, 1]`` which is scaled by the attempt's
+contention window::
+
+    retry_backoff(i) = round(f/CWmin * CW_i)
+    CW_i = min((CWmin + 1) * 2**(i-1) - 1, CWmax)
+
+The linear-congruential form (a=5, odd c) is a full-period generator
+mod ``CWmin + 1 = 32``, which is why colliding senders that share a
+contention window still separate with high probability: distinct
+``(backoff + nodeId)`` residues map to distinct outputs.
+
+Section 4.4 sketches a symmetric function ``g`` with which an *honest
+receiver* derives the random part of each assignment, so the sender
+can audit the receiver; we implement ``g`` as a keyed hash over the
+(receiver, sender, packet counter) triple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.phy.constants import CW_MAX, CW_MIN
+
+#: Multiplier of the linear congruential step of ``f``.
+F_MULTIPLIER = 5
+
+
+def contention_window(attempt: int, cw_min: int = CW_MIN, cw_max: int = CW_MAX) -> int:
+    """IEEE 802.11 contention window for the given transmission attempt.
+
+    ``CW_i = min((CWmin + 1) * 2**(i-1) - 1, CWmax)`` — i.e. 31, 63,
+    127, ... capped at ``CWmax``.  ``attempt`` is 1-based.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based and must be >= 1")
+    # Cap the exponent before shifting so huge attempt values cannot
+    # produce giant intermediates.
+    doubled = (cw_min + 1) << min(attempt - 1, 16)
+    return min(doubled - 1, cw_max)
+
+
+def f_raw(backoff: int, node_id: int, attempt: int, cw_min: int = CW_MIN) -> int:
+    """The paper's deterministic function ``f`` (integer in [0, cw_min])."""
+    if backoff < 0:
+        raise ValueError("backoff must be >= 0")
+    if attempt < 1:
+        raise ValueError("attempt must be >= 1")
+    modulus = cw_min + 1
+    x = (backoff + node_id) % modulus
+    c = 2 * attempt + 1
+    return (F_MULTIPLIER * x + c) % modulus
+
+
+def f_fraction(backoff: int, node_id: int, attempt: int, cw_min: int = CW_MIN) -> float:
+    """``f`` normalised to [0, 1] by dividing by ``cw_min``."""
+    return f_raw(backoff, node_id, attempt, cw_min) / cw_min
+
+
+def retry_backoff(
+    backoff: int,
+    node_id: int,
+    attempt: int,
+    cw_min: int = CW_MIN,
+    cw_max: int = CW_MAX,
+) -> int:
+    """Backoff (in slots) the sender must use for retransmission ``attempt``.
+
+    Both sender and receiver evaluate this identically, which is what
+    lets the receiver reconstruct ``B_exp`` across collisions.
+    """
+    fraction = f_fraction(backoff, node_id, attempt, cw_min)
+    cw = contention_window(attempt, cw_min, cw_max)
+    return round(fraction * cw)
+
+
+def expected_backoff_sum(
+    assigned: int,
+    node_id: int,
+    first_stage: int,
+    last_stage: int,
+    cw_min: int = CW_MIN,
+    cw_max: int = CW_MAX,
+) -> int:
+    """Total backoff ``B_exp`` a conforming sender performs over stages.
+
+    Stage 1 is the receiver-assigned backoff; stage ``i >= 2`` is the
+    deterministic retry backoff for attempt ``i``.  The receiver calls
+    this with ``first_stage`` the first backoff stage since its last
+    transmission to the sender (1 after an ACK, ``k+1`` after a CTS for
+    attempt ``k``) and ``last_stage`` the attempt number in the RTS it
+    just received.  This generalises the paper's
+
+        B_exp = backoff + sum_{i=2}^{attempt} f(backoff, nodeId, i)*CW_i
+
+    which is the ``first_stage == 1`` case.
+    """
+    if first_stage < 1:
+        raise ValueError("first_stage must be >= 1")
+    if last_stage < first_stage:
+        raise ValueError("last_stage must be >= first_stage")
+    total = 0
+    for stage in range(first_stage, last_stage + 1):
+        if stage == 1:
+            total += assigned
+        else:
+            total += retry_backoff(assigned, node_id, stage, cw_min, cw_max)
+    return total
+
+
+def g_assignment(
+    receiver_id: int,
+    sender_id: int,
+    packet_counter: int,
+    cw_min: int = CW_MIN,
+) -> int:
+    """Well-known deterministic receiver assignment function ``g``.
+
+    Returns the random component (in ``[0, cw_min]``) an honest
+    receiver assigns for the ``packet_counter``-th packet of the
+    (receiver, sender) flow.  Both ends can evaluate it, so a sender
+    can detect a receiver that hands out smaller-than-honest backoffs
+    (receiver misbehavior, Section 4.4).  Keyed hashing keeps the
+    sequence uniform and uncorrelated across flows.
+    """
+    digest = hashlib.blake2b(
+        f"g:{receiver_id}:{sender_id}:{packet_counter}".encode("utf-8"),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "big") % (cw_min + 1)

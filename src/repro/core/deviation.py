@@ -1,0 +1,75 @@
+"""Deviation identification (equation 1 of the paper).
+
+A receiver that assigned backoff ``B_exp`` flags a transmission as a
+*deviation* when the number of idle slots it observed before the
+sender's RTS is less than a fraction ``alpha`` of the expectation::
+
+    B_act < alpha * B_exp,   0 < alpha <= 1          (eq. 1)
+
+A deviation is *per-transmission* evidence only; channel asymmetry can
+make honest senders appear to deviate, which is why diagnosis
+(:mod:`repro.core.diagnosis`) aggregates over a window instead of
+acting on single observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviationVerdict:
+    """Outcome of checking one transmission against equation 1.
+
+    Attributes
+    ----------
+    b_exp:
+        Slots the sender was expected to back off (including any
+        reconstructed retransmission stages).
+    b_act:
+        Idle slots the receiver actually observed.
+    deviated:
+        Whether equation 1 fired.
+    deviation:
+        ``D = max(alpha*B_exp - B_act, 0)`` — the magnitude handed to
+        the correction scheme.  Zero when not deviating.
+    difference:
+        ``B_exp - B_act`` — the signed value pushed into the diagnosis
+        window (negative when the sender waited longer than required).
+    """
+
+    b_exp: int
+    b_act: int
+    deviated: bool
+    deviation: float
+    difference: float
+
+
+def check_deviation(b_exp: int, b_act: int, alpha: float) -> DeviationVerdict:
+    """Apply equation 1 to one observation.
+
+    Parameters
+    ----------
+    b_exp:
+        Expected backoff in slots (>= 0).
+    b_act:
+        Observed idle slots (>= 0).
+    alpha:
+        Tolerance fraction in (0, 1].
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if b_exp < 0 or b_act < 0:
+        raise ValueError("backoff observations must be non-negative")
+    scaled = alpha * b_exp
+    deviated = b_act < scaled
+    deviation = max(scaled - b_act, 0.0)
+    if not deviated:
+        deviation = 0.0
+    return DeviationVerdict(
+        b_exp=b_exp,
+        b_act=b_act,
+        deviated=deviated,
+        deviation=deviation,
+        difference=float(b_exp - b_act),
+    )

@@ -1,0 +1,88 @@
+"""Sender-side audit of receiver honesty (Section 4.4).
+
+In ad hoc deployments the receiver itself may misbehave when assigning
+backoffs — handing a favoured sender *small* values to pull data from
+it faster.  The paper's remedy: require honest receivers to derive the
+random component of every assignment from a well-known deterministic
+function ``g``, so the sender can recompute what an honest assignment
+would have been.  An assignment *below* the ``g`` value cannot be
+explained by a penalty (penalties only add), so the sender flags the
+receiver and voluntarily waits the honest amount instead.
+
+Assignments *above* ``g + expected penalty`` are indistinguishable
+from legitimate penalties; the paper explicitly declines to treat
+large assignments as misbehavior (they are equivalent to the receiver
+refusing service, a higher-layer problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backoff_function import g_assignment
+
+
+@dataclass(frozen=True)
+class ReceiverAuditVerdict:
+    """Outcome of checking one assignment against ``g``.
+
+    ``corrected_backoff`` is what the sender should actually wait:
+    the honest ``g`` value when the receiver under-assigned, otherwise
+    the assignment as given.
+    """
+
+    assigned: int
+    honest_minimum: int
+    receiver_misbehaving: bool
+    corrected_backoff: int
+
+
+class ReceiverAuditor:
+    """Sender-side verification of receiver-assigned backoffs.
+
+    Parameters
+    ----------
+    receiver_id / sender_id:
+        Flow endpoints; both ends evaluate ``g`` over the same triple.
+    cw_min:
+        Contention window bound, defining ``g``'s range.
+    """
+
+    def __init__(self, receiver_id: int, sender_id: int, cw_min: int = 31):
+        self.receiver_id = receiver_id
+        self.sender_id = sender_id
+        self.cw_min = cw_min
+        self._packet_counter = 0
+        #: Number of under-assignments detected so far.
+        self.violations = 0
+
+    def check_assignment(
+        self, assigned: int, counter: int | None = None
+    ) -> ReceiverAuditVerdict:
+        """Audit one assignment; advances the shared packet counter.
+
+        Call exactly once per assignment received (CTS/ACK pairs carry
+        the same value and count once).  When both ends key ``g`` by a
+        packet sequence number, pass it as ``counter`` so loss of
+        individual frames cannot desynchronise the audit.
+        """
+        if assigned < 0:
+            raise ValueError("assigned backoff must be >= 0")
+        if counter is None:
+            counter = self._packet_counter
+        honest = g_assignment(self.receiver_id, self.sender_id, counter, self.cw_min)
+        self._packet_counter += 1
+        misbehaving = assigned < honest
+        if misbehaving:
+            self.violations += 1
+        return ReceiverAuditVerdict(
+            assigned=assigned,
+            honest_minimum=honest,
+            receiver_misbehaving=misbehaving,
+            corrected_backoff=honest if misbehaving else assigned,
+        )
+
+    @property
+    def packets_audited(self) -> int:
+        """How many assignments have been checked."""
+        return self._packet_counter

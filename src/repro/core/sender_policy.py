@@ -1,0 +1,179 @@
+"""Sender backoff policies: conforming behaviour and misbehavior models.
+
+The paper studies senders that deviate from the backoff rules to grab
+bandwidth.  We model a sender's (mis)behaviour as a policy object with
+four hooks, each defaulting to the conforming IEEE 802.11 behaviour:
+
+* ``select_backoff`` — how a *802.11* sender draws its backoff from
+  ``[0, CW]`` (the CORRECT protocol removes this freedom: the value is
+  assigned by the receiver).
+* ``effective_countdown`` — how many of the nominal backoff slots the
+  sender actually counts down before transmitting.  This implements
+  the paper's *Percentage of Misbehavior* knob: a node with ``PM = x``
+  "transmits a packet after counting down to (100-x)% of the assigned
+  backoff value".
+* ``next_contention_window`` — how CW evolves after success/failure
+  (a cheater may skip the doubling).
+* ``reported_attempt`` — the attempt number advertised in the RTS (a
+  cheater may under-report to shrink the receiver's ``B_exp``).
+
+Policies are pure and per-sender; the MAC layer consults them at the
+appropriate points.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.backoff_function import contention_window
+from repro.phy.constants import CW_MAX, CW_MIN
+
+
+class ConformingPolicy:
+    """Fully compliant IEEE 802.11 / CORRECT sender behaviour."""
+
+    #: Whether metrics should count this sender as misbehaving.
+    misbehaving = False
+
+    def select_backoff(self, rng: random.Random, cw: int) -> int:
+        """Uniform draw from ``[0, CW]`` (802.11 senders only)."""
+        return rng.randint(0, cw)
+
+    def effective_countdown(self, nominal_slots: int) -> int:
+        """Slots actually counted down; conforming senders count all."""
+        return nominal_slots
+
+    def next_contention_window(
+        self, attempt: int, cw_min: int = CW_MIN, cw_max: int = CW_MAX
+    ) -> int:
+        """Standard binary exponential backoff window for ``attempt``."""
+        return contention_window(attempt, cw_min, cw_max)
+
+    def reported_attempt(self, true_attempt: int) -> int:
+        """Attempt number placed in the RTS header (honest)."""
+        return true_attempt
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PartialCountdownPolicy(ConformingPolicy):
+    """The paper's PM model: count only ``(100 - PM)%`` of the backoff.
+
+    ``PM = 0`` is fully conforming; ``PM = 100`` transmits without any
+    countdown at all.  Applies to initial and retransmission backoffs
+    alike, for both 802.11 and CORRECT senders.
+    """
+
+    misbehaving = True
+
+    def __init__(self, pm_percent: float):
+        if not 0.0 <= pm_percent <= 100.0:
+            raise ValueError("pm_percent must be within [0, 100]")
+        self.pm_percent = pm_percent
+
+    def effective_countdown(self, nominal_slots: int) -> int:
+        if nominal_slots < 0:
+            raise ValueError("nominal_slots must be >= 0")
+        fraction = (100.0 - self.pm_percent) / 100.0
+        return int(round(nominal_slots * fraction))
+
+    def __repr__(self) -> str:
+        return f"PartialCountdownPolicy(pm={self.pm_percent:g}%)"
+
+
+class ShrunkenWindowPolicy(ConformingPolicy):
+    """Draw the 802.11 backoff from ``[0, CW/divisor]`` instead of ``[0, CW]``.
+
+    The introduction's motivating example uses ``divisor = 4``
+    (backoffs from ``[0, CW/4]``), which halves the throughput of the
+    seven honest competitors.  Under CORRECT this policy has no lever,
+    since the receiver chooses the value.
+    """
+
+    misbehaving = True
+
+    def __init__(self, divisor: float = 4.0):
+        if divisor < 1.0:
+            raise ValueError("divisor must be >= 1")
+        self.divisor = divisor
+
+    def select_backoff(self, rng: random.Random, cw: int) -> int:
+        return rng.randint(0, max(int(cw / self.divisor), 0))
+
+    def __repr__(self) -> str:
+        return f"ShrunkenWindowPolicy(divisor={self.divisor:g})"
+
+
+class NoDoublingPolicy(ConformingPolicy):
+    """Keep ``CW = CWmin`` after collisions (skip exponential backoff)."""
+
+    misbehaving = True
+
+    def next_contention_window(
+        self, attempt: int, cw_min: int = CW_MIN, cw_max: int = CW_MAX
+    ) -> int:
+        return cw_min
+
+    def __repr__(self) -> str:
+        return "NoDoublingPolicy()"
+
+
+class AttemptLyingPolicy(PartialCountdownPolicy):
+    """Under-report the attempt number while shortening retry backoffs.
+
+    After a collision a conforming sender backs off from a doubled
+    window and advertises the incremented attempt.  This cheater skips
+    the retry backoff growth (``PM`` applied to every stage) and always
+    claims ``attempt = 1`` so the receiver's reconstructed ``B_exp``
+    stays small.  It is the adversary the attempt-number audit of
+    Section 4.1 (intentional RTS drops) is designed to expose.
+    """
+
+    def __init__(self, pm_percent: float = 50.0):
+        super().__init__(pm_percent)
+
+    def reported_attempt(self, true_attempt: int) -> int:
+        return 1
+
+    def __repr__(self) -> str:
+        return f"AttemptLyingPolicy(pm={self.pm_percent:g}%)"
+
+
+def policy_for_pm(pm_percent: float) -> ConformingPolicy:
+    """Factory used by the experiment sweeps.
+
+    ``PM = 0`` yields a conforming sender (so sweeps naturally include
+    the honest baseline); anything larger yields the paper's partial
+    countdown misbehavior.
+    """
+    if pm_percent <= 0.0:
+        return ConformingPolicy()
+    return PartialCountdownPolicy(pm_percent)
+
+
+def expected_pm_throughput_bias(pm_percent: float, mean_backoff_slots: float) -> float:
+    """Rough analytic advantage of a PM cheater (documentation helper).
+
+    Returns the fraction of contention time the cheater skips: with a
+    mean backoff of ``B`` slots, a cheater counts only ``(1-pm)B`` of
+    them, so its contention delay shrinks by ``pm`` of the backoff
+    component.  Used by examples to annotate results, not by the
+    simulator itself.
+    """
+    if not 0.0 <= pm_percent <= 100.0:
+        raise ValueError("pm_percent must be within [0, 100]")
+    if mean_backoff_slots < 0:
+        raise ValueError("mean_backoff_slots must be >= 0")
+    return (pm_percent / 100.0) * mean_backoff_slots / max(mean_backoff_slots, 1e-9)
+
+
+__all__ = [
+    "ConformingPolicy",
+    "PartialCountdownPolicy",
+    "ShrunkenWindowPolicy",
+    "NoDoublingPolicy",
+    "AttemptLyingPolicy",
+    "policy_for_pm",
+    "expected_pm_throughput_bias",
+]

@@ -1,0 +1,117 @@
+"""Adaptive adversaries the paper argues the scheme resists.
+
+Section 4.3: "The choice of W and THRESH does not affect the
+correction scheme.  Hence, a sender adapting to these values will
+still have a penalty added for every perceived deviation, even if the
+node is not diagnosed to be misbehaving."
+:class:`ThresholdAwareCheaterPolicy` implements exactly that adversary:
+it knows W and THRESH, tracks (its own estimate of) the receiver's
+diagnosis window, and cheats only while the estimated windowed sum
+stays safely under THRESH.
+
+Section 3.2: "a misbehaving sender which backs off for the duration
+specified by the penalty (or a large fraction of it) does not obtain
+significant throughput advantage over other well-behaved nodes."
+:class:`PenaltyRespectingCheaterPolicy` is that adversary: it serves
+penalties in full (so penalties never escalate) but shaves the base
+random component of every assignment.
+
+Both are pure sender policies (no protocol access beyond what a real
+cheater would have: the assignments it is told and its own waits), so
+they plug into the MAC like any other misbehavior model.  The
+``benchmarks/test_bench_adversaries.py`` bench quantifies that neither
+earns a meaningful advantage — the paper's claims.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.core.sender_policy import ConformingPolicy
+from repro.phy.constants import CW_MIN
+
+
+class ThresholdAwareCheaterPolicy(ConformingPolicy):
+    """Cheat only while the estimated diagnosis window stays quiet.
+
+    Parameters
+    ----------
+    pm_percent:
+        How aggressively to cheat when cheating (PM semantics).
+    window / thresh:
+        The receiver's (known, public) diagnosis parameters.
+    safety_margin:
+        Keep the estimated windowed sum at least this many slots below
+        THRESH.  A real adversary needs slack because its estimate of
+        the receiver's ``B_act`` is noisy.
+    """
+
+    misbehaving = True
+
+    def __init__(
+        self,
+        pm_percent: float = 80.0,
+        window: int = 5,
+        thresh: float = 20.0,
+        safety_margin: float = 4.0,
+    ):
+        if not 0.0 <= pm_percent <= 100.0:
+            raise ValueError("pm_percent must be within [0, 100]")
+        self.pm_percent = pm_percent
+        self.window = window
+        self.thresh = thresh
+        self.safety_margin = safety_margin
+        self._diffs: Deque[float] = deque(maxlen=window)
+        self.cheated_countdowns = 0
+        self.honest_countdowns = 0
+
+    def effective_countdown(self, nominal_slots: int) -> int:
+        # Cheat exactly as much as the remaining THRESH headroom
+        # allows, bounded by the configured aggressiveness.
+        current_sum = sum(self._diffs)
+        desired_diff = nominal_slots - int(
+            round(nominal_slots * (100.0 - self.pm_percent) / 100.0)
+        )
+        headroom = self.thresh - self.safety_margin - current_sum
+        diff = max(0, min(desired_diff, int(headroom)))
+        self._diffs.append(float(diff))
+        if diff > 0:
+            self.cheated_countdowns += 1
+        else:
+            self.honest_countdowns += 1
+        return nominal_slots - diff
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdAwareCheaterPolicy(pm={self.pm_percent:g}%, "
+            f"W={self.window}, THRESH={self.thresh:g})"
+        )
+
+
+class PenaltyRespectingCheaterPolicy(ConformingPolicy):
+    """Serve penalties in full; shave only the base random component.
+
+    The sender cannot see the penalty split directly, but honest base
+    assignments never exceed ``CWmin``, so anything above that is
+    surely penalty.  The cheater waits ``penalty + (1-PM) * base``.
+    """
+
+    misbehaving = True
+
+    def __init__(self, pm_percent: float = 80.0, cw_min: int = CW_MIN):
+        if not 0.0 <= pm_percent <= 100.0:
+            raise ValueError("pm_percent must be within [0, 100]")
+        self.pm_percent = pm_percent
+        self.cw_min = cw_min
+        self.penalty_slots_served = 0
+
+    def effective_countdown(self, nominal_slots: int) -> int:
+        base = min(nominal_slots, self.cw_min)
+        penalty = nominal_slots - base
+        self.penalty_slots_served += penalty
+        shaved = int(round(base * (100.0 - self.pm_percent) / 100.0))
+        return penalty + shaved
+
+    def __repr__(self) -> str:
+        return f"PenaltyRespectingCheaterPolicy(pm={self.pm_percent:g}%)"

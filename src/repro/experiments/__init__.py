@@ -1,0 +1,72 @@
+"""Experiment harness: scenarios, multi-seed runner, figure generators."""
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    FigureResult,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9a,
+    figure9b,
+    figure_delay,
+    intro_claim,
+)
+from repro.experiments.plots import print_plot, render_plot
+from repro.experiments.report import print_figure, render_table, to_json
+from repro.experiments.runner import (
+    PAPER_SEEDS,
+    average_metric,
+    run_configs,
+    run_seeds,
+)
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    RunResult,
+    ScenarioConfig,
+    build_scenario,
+    run_scenario,
+)
+from repro.experiments.settings import (
+    DEFAULT_SETTINGS,
+    PAPER_SETTINGS,
+    QUICK_SETTINGS,
+    EvalSettings,
+    active_settings,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "FigureResult",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9a",
+    "figure9b",
+    "figure_delay",
+    "intro_claim",
+    "print_figure",
+    "render_table",
+    "to_json",
+    "print_plot",
+    "render_plot",
+    "PAPER_SEEDS",
+    "average_metric",
+    "run_configs",
+    "run_seeds",
+    "PROTOCOL_80211",
+    "PROTOCOL_CORRECT",
+    "RunResult",
+    "ScenarioConfig",
+    "build_scenario",
+    "run_scenario",
+    "DEFAULT_SETTINGS",
+    "PAPER_SETTINGS",
+    "QUICK_SETTINGS",
+    "EvalSettings",
+    "active_settings",
+]

@@ -1,0 +1,488 @@
+"""One generator per table/figure of the paper's evaluation.
+
+Each ``figureN`` function runs the corresponding experiment at the
+requested :class:`~repro.experiments.settings.EvalSettings` scale and
+returns a :class:`FigureResult`: named series of (x, y) points that
+mirror the curves in the paper.  ``repro.experiments.report`` renders
+them as ASCII tables; the benchmark suite regenerates each figure and
+asserts its qualitative shape.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.sender_policy import ShrunkenWindowPolicy
+from repro.experiments.runner import run_configs, run_seeds
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    RunResult,
+    ScenarioConfig,
+)
+from repro.experiments.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.metrics.stats import elementwise_mean, mean, summarize
+from repro.net.topology import circle_topology, random_topology
+
+#: Sender the paper designates as misbehaving in the circle topology.
+MISBEHAVING_NODE = 3
+
+
+@dataclass
+class FigureResult:
+    """Named series reproducing one figure.
+
+    ``series`` maps a curve name (e.g. ``"CORRECT - MSB"``) to a list
+    of (x, y) pairs; ``errors`` optionally holds the 95% CI half-width
+    across seeds for the same (series, x).  ``meta`` carries free-form
+    annotations such as the scale the figure was generated at.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    errors: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def add_point(
+        self, series_name: str, x: float, y: float,
+        error: Optional[float] = None,
+    ) -> None:
+        self.series.setdefault(series_name, []).append((x, y))
+        if error is not None:
+            self.errors.setdefault(series_name, []).append((x, error))
+
+    def error_at(self, series_name: str, x: float) -> Optional[float]:
+        """The recorded CI half-width for one point, if any."""
+        for px, err in self.errors.get(series_name, ()):  # pragma: no branch
+            if px == x:
+                return err
+        return None
+
+    def ys(self, series_name: str) -> List[float]:
+        """The y values of one series, in x order."""
+        return [y for _, y in sorted(self.series[series_name])]
+
+    def xs(self, series_name: str) -> List[float]:
+        """The x values of one series, sorted."""
+        return sorted(x for x, _ in self.series[series_name])
+
+
+def _scale_meta(settings: EvalSettings) -> Dict[str, object]:
+    return {
+        "duration_s": settings.duration_s,
+        "seeds": len(settings.seeds),
+    }
+
+
+def _avg(results: Sequence[RunResult], metric) -> float:
+    return mean([metric(r) for r in results])
+
+
+def _add_stat_point(
+    fig: FigureResult,
+    name: str,
+    x: float,
+    results: Sequence[RunResult],
+    metric,
+    scale: float = 1.0,
+) -> None:
+    """Add the across-seed mean of a metric, with its 95% CI."""
+    stats = summarize([metric(r) for r in results])
+    fig.add_point(name, x, stats.mean * scale, error=stats.ci95 * scale)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — diagnosis accuracy vs magnitude of misbehavior
+# ----------------------------------------------------------------------
+def figure4(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Correct-diagnosis and misdiagnosis percentages vs PM.
+
+    Reproduces Figure 4: 8 senders around R, node 3 misbehaving with
+    the swept PM, for both ZERO-FLOW and TWO-FLOW scenarios, under the
+    CORRECT protocol.
+    """
+    fig = FigureResult(
+        figure_id="fig4",
+        title="Diagnosis accuracy for varying magnitude of misbehavior",
+        x_label="Percentage of Misbehavior (PM)",
+        y_label="percentage of packets",
+        meta=_scale_meta(settings),
+    )
+    for scenario, with_interferers in (("ZERO-FLOW", False), ("TWO-FLOW", True)):
+        for pm in settings.pm_values:
+            topo = circle_topology(
+                8, misbehaving=(MISBEHAVING_NODE,), pm_percent=pm,
+                with_interferers=with_interferers,
+            )
+            config = ScenarioConfig(
+                topology=topo, protocol=PROTOCOL_CORRECT,
+                duration_us=settings.duration_us,
+            )
+            results = run_seeds(config, settings.seeds, workers)
+            _add_stat_point(
+                fig, f"{scenario} correct diagnosis", pm, results,
+                lambda r: r.correct_diagnosis_percent,
+            )
+            _add_stat_point(
+                fig, f"{scenario} misdiagnosis", pm, results,
+                lambda r: r.misdiagnosis_percent,
+            )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — throughput comparison, 802.11 vs CORRECT, vs PM
+# ----------------------------------------------------------------------
+def figure5(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    with_interferers: bool = False,
+) -> FigureResult:
+    """MSB and AVG throughput vs PM for both protocols (Figure 5)."""
+    fig = FigureResult(
+        figure_id="fig5",
+        title="Throughput comparison between IEEE 802.11 and proposed scheme",
+        x_label="Percentage of Misbehavior (PM)",
+        y_label="throughput (Kbps)",
+        meta=_scale_meta(settings),
+    )
+    for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
+        for pm in settings.pm_values:
+            topo = circle_topology(
+                8, misbehaving=(MISBEHAVING_NODE,), pm_percent=pm,
+                with_interferers=with_interferers,
+            )
+            config = ScenarioConfig(
+                topology=topo, protocol=protocol,
+                duration_us=settings.duration_us,
+            )
+            results = run_seeds(config, settings.seeds, workers)
+            _add_stat_point(
+                fig, f"{label} - MSB", pm, results,
+                lambda r: r.msb_throughput_bps, scale=1e-3,
+            )
+            _add_stat_point(
+                fig, f"{label} - AVG", pm, results,
+                lambda r: r.avg_throughput_bps, scale=1e-3,
+            )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figures 6 and 7 — behaviour without misbehavior, vs network size
+# ----------------------------------------------------------------------
+def _size_sweep(settings: EvalSettings, workers: Optional[int]):
+    for scenario, with_interferers in (("ZERO-FLOW", False), ("TWO-FLOW", True)):
+        for protocol, label in (
+            (PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")
+        ):
+            for n in settings.network_sizes:
+                topo = circle_topology(n, with_interferers=with_interferers)
+                config = ScenarioConfig(
+                    topology=topo, protocol=protocol,
+                    duration_us=settings.duration_us,
+                )
+                results = run_seeds(config, settings.seeds, workers)
+                yield scenario, label, n, results
+
+
+def figure6(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Average per-sender throughput vs network size (Figure 6)."""
+    fig = FigureResult(
+        figure_id="fig6",
+        title="Throughput comparison without misbehavior for varying network sizes",
+        x_label="number of senders",
+        y_label="average throughput (Kbps)",
+        meta=_scale_meta(settings),
+    )
+    for scenario, label, n, results in _size_sweep(settings, workers):
+        _add_stat_point(
+            fig, f"{scenario} {label}", n, results,
+            lambda r: r.avg_throughput_bps, scale=1e-3,
+        )
+    return fig
+
+
+def figure7(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Jain's fairness index vs network size (Figure 7)."""
+    fig = FigureResult(
+        figure_id="fig7",
+        title="Comparison of fairness index between IEEE 802.11 and proposed scheme",
+        x_label="number of senders",
+        y_label="fairness index",
+        meta=_scale_meta(settings),
+    )
+    for scenario, label, n, results in _size_sweep(settings, workers):
+        _add_stat_point(
+            fig, f"{scenario} {label}", n, results,
+            lambda r: r.fairness_index,
+        )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — responsiveness of the diagnosis scheme
+# ----------------------------------------------------------------------
+def figure8(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Correct-diagnosis percentage over time, TWO-FLOW (Figure 8)."""
+    fig = FigureResult(
+        figure_id="fig8",
+        title="Evaluation of responsiveness of misbehavior diagnosis scheme",
+        x_label="time (s)",
+        y_label="correct diagnosis %",
+        meta=_scale_meta(settings),
+    )
+    for pm in settings.fig8_pm_values:
+        topo = circle_topology(
+            8, misbehaving=(MISBEHAVING_NODE,), pm_percent=pm,
+            with_interferers=True,
+        )
+        config = ScenarioConfig(
+            topology=topo, protocol=PROTOCOL_CORRECT,
+            duration_us=settings.duration_us,
+        )
+        results = run_seeds(config, settings.seeds, workers)
+        series = elementwise_mean([
+            r.collector.diagnosis_time_series(
+                settings.fig8_bin_us, settings.duration_us
+            )
+            for r in results
+        ])
+        name = f"PM={pm:.0f}%"
+        for i, value in enumerate(series):
+            fig.add_point(name, i * settings.fig8_bin_us / 1_000_000, value)
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — random topologies
+# ----------------------------------------------------------------------
+def _random_results(
+    settings: EvalSettings, protocol: str, pm: float, workers: Optional[int]
+) -> List[RunResult]:
+    configs = []
+    for index in range(settings.random_topologies):
+        topo = random_topology(
+            random.Random(1000 + index),
+            n_nodes=settings.random_nodes,
+            n_misbehaving=settings.random_misbehaving,
+            pm_percent=pm,
+        )
+        configs.append(
+            ScenarioConfig(
+                topology=topo, protocol=protocol,
+                duration_us=settings.duration_us, seed=1000 + index,
+            )
+        )
+    return run_configs(configs, workers)
+
+
+def figure9a(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Diagnosis accuracy vs PM over random topologies (Figure 9a)."""
+    fig = FigureResult(
+        figure_id="fig9a",
+        title="Diagnosis accuracy, random topology (40 nodes, 1500m x 700m)",
+        x_label="Percentage of Misbehavior (PM)",
+        y_label="percentage of packets",
+        meta=_scale_meta(settings),
+    )
+    for pm in settings.pm_values:
+        results = _random_results(settings, PROTOCOL_CORRECT, pm, workers)
+        _add_stat_point(
+            fig, "correct diagnosis", pm, results,
+            lambda r: r.correct_diagnosis_percent,
+        )
+        _add_stat_point(
+            fig, "misdiagnosis", pm, results,
+            lambda r: r.misdiagnosis_percent,
+        )
+    return fig
+
+
+def figure9b(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Throughput vs PM over random topologies (Figure 9b).
+
+    Besides the paper's four curves, the result carries (in ``meta``)
+    the *designated cheaters' fair share*: the mean throughput those
+    same nodes obtain in a fully honest run.  In random fields the
+    cheaters' local contention differs from the network average, so
+    "restricted to a fair share" is judged against this baseline.
+    """
+    fig = FigureResult(
+        figure_id="fig9b",
+        title="Throughput, random topology (40 nodes, 1500m x 700m)",
+        x_label="Percentage of Misbehavior (PM)",
+        y_label="throughput (Kbps)",
+        meta=_scale_meta(settings),
+    )
+    # Which nodes a topology designates as misbehaving is a function
+    # of the placement RNG only (PM just scales their cheating), so an
+    # honest run of the same placements yields their fair share.
+    designated = [
+        set(
+            random_topology(
+                random.Random(1000 + index),
+                n_nodes=settings.random_nodes,
+                n_misbehaving=settings.random_misbehaving,
+                pm_percent=100.0,
+            ).misbehaving_senders
+        )
+        for index in range(settings.random_topologies)
+    ]
+    honest_runs = _random_results(settings, PROTOCOL_CORRECT, 0.0, workers)
+    baselines = []
+    for topo_index, result in enumerate(honest_runs):
+        tps = result.throughputs()
+        baselines.extend(
+            tps[n] for n in designated[topo_index] if n in tps
+        )
+    fig.meta["cheaters_fair_share_kbps"] = mean(baselines) / 1000.0
+    for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
+        for pm in settings.pm_values:
+            results = _random_results(settings, protocol, pm, workers)
+            _add_stat_point(
+                fig, f"{label} - MSB", pm, results,
+                lambda r: r.msb_throughput_bps, scale=1e-3,
+            )
+            _add_stat_point(
+                fig, f"{label} - AVG", pm, results,
+                lambda r: r.avg_throughput_bps, scale=1e-3,
+            )
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Section 1 motivating claim
+# ----------------------------------------------------------------------
+def intro_claim(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """The introduction's example: one [0, CW/4] cheater under 802.11.
+
+    The paper: "for a network containing 8 nodes sending packets to a
+    common receiver, with one of the 8 nodes misbehaving by selecting
+    backoff values from range [0, CW/4], the throughput of the other 7
+    nodes is degraded by as much as 50%".
+    """
+    fig = FigureResult(
+        figure_id="intro",
+        title="Intro claim: one [0, CW/4] misbehaver under IEEE 802.11",
+        x_label="case",
+        y_label="throughput (Kbps)",
+        meta=_scale_meta(settings),
+    )
+    baseline = ScenarioConfig(
+        topology=circle_topology(8), protocol=PROTOCOL_80211,
+        duration_us=settings.duration_us,
+    )
+    fair = _avg(
+        run_seeds(baseline, settings.seeds, workers),
+        lambda r: r.avg_throughput_bps,
+    )
+    topo = circle_topology(8, misbehaving=(MISBEHAVING_NODE,), pm_percent=1.0)
+    cheated = ScenarioConfig(
+        topology=topo, protocol=PROTOCOL_80211,
+        duration_us=settings.duration_us,
+        policy_overrides={MISBEHAVING_NODE: ShrunkenWindowPolicy(4.0)},
+    )
+    results = run_seeds(cheated, settings.seeds, workers)
+    fig.add_point("fair share (all honest)", 0, fair / 1000.0)
+    fig.add_point(
+        "honest AVG with cheater", 1,
+        _avg(results, lambda r: r.avg_throughput_bps) / 1000.0,
+    )
+    fig.add_point(
+        "cheater (MSB)", 2,
+        _avg(results, lambda r: r.msb_throughput_bps) / 1000.0,
+    )
+    fig.meta["degradation_percent"] = 100.0 * (
+        1.0 - _avg(results, lambda r: r.avg_throughput_bps) / fair
+    ) if fair else 0.0
+    return fig
+
+
+# ----------------------------------------------------------------------
+# Extension figure: MAC access delay (the paper's other selfish motive)
+# ----------------------------------------------------------------------
+def figure_delay(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+) -> FigureResult:
+    """Mean MAC access delay vs PM, both protocols (extension).
+
+    Section 3.1 defines selfish misbehavior as seeking "higher
+    throughput or lower delay".  The paper plots only throughput; this
+    companion figure shows the delay side of the same story: under
+    802.11 the cheater's access delay collapses while honest senders
+    queue longer; under CORRECT the penalties equalise delays again.
+    """
+    fig = FigureResult(
+        figure_id="delay",
+        title="Mean MAC access delay (extension to Figure 5)",
+        x_label="Percentage of Misbehavior (PM)",
+        y_label="mean access delay (ms)",
+        meta=_scale_meta(settings),
+    )
+    for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
+        for pm in settings.pm_values:
+            topo = circle_topology(
+                8, misbehaving=(MISBEHAVING_NODE,), pm_percent=pm,
+            )
+            config = ScenarioConfig(
+                topology=topo, protocol=protocol,
+                duration_us=settings.duration_us,
+            )
+            results = run_seeds(config, settings.seeds, workers)
+            msb_delays = [
+                r.collector.mean_delay_us(MISBEHAVING_NODE) for r in results
+            ]
+            honest_delays = []
+            for r in results:
+                values = [
+                    r.collector.mean_delay_us(s)
+                    for s in range(1, 9)
+                    if s != MISBEHAVING_NODE
+                ]
+                honest_delays.append(mean(values))
+            if pm > 0:
+                fig.add_point(f"{label} - MSB", pm, mean(msb_delays) / 1000.0)
+            fig.add_point(f"{label} - AVG", pm, mean(honest_delays) / 1000.0)
+    return fig
+
+
+#: Registry used by the report CLI and the benchmark suite.
+ALL_FIGURES = {
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9a": figure9a,
+    "fig9b": figure9b,
+    "intro": intro_claim,
+    "delay": figure_delay,
+}

@@ -1,0 +1,79 @@
+"""ASCII line plots for figure results.
+
+`render_plot` draws a :class:`~repro.experiments.figures.FigureResult`
+as a fixed-width character chart — enough to eyeball the curve shapes
+(who wins, where the crossover is) without a plotting stack.  Each
+series gets a marker character; overlapping points show the later
+series' marker.
+
+Used by ``python -m repro figures --plot`` and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.figures import FigureResult
+
+#: Marker characters assigned to series, in order.
+MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(int(position * (size - 1) + 0.5), size - 1)
+
+
+def render_plot(
+    fig: FigureResult,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render the figure as an ASCII chart (returns the text)."""
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+    all_points: List[Tuple[float, float]] = [
+        p for pts in fig.series.values() for p in pts
+    ]
+    if not all_points:
+        return f"== {fig.figure_id}: {fig.title} == (no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_lo > 0 and y_lo < 0.25 * y_hi:
+        y_lo = 0.0  # anchor near-zero ranges at zero for readability
+    grid = [[" "] * width for _ in range(height)]
+    legend: Dict[str, str] = {}
+    for index, (name, points) in enumerate(fig.series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        legend[name] = marker
+        for x, y in sorted(points):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = marker
+    y_label_width = max(len(f"{y_hi:.0f}"), len(f"{y_lo:.0f}"))
+    lines = [f"== {fig.figure_id}: {fig.title} =="]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:.0f}".rjust(y_label_width)
+        elif row_index == height - 1:
+            label = f"{y_lo:.0f}".rjust(y_label_width)
+        else:
+            label = " " * y_label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * y_label_width + " +" + "-" * width)
+    x_axis = (f"{x_lo:g}".ljust(width // 2)
+              + f"{x_hi:g}".rjust(width - width // 2))
+    lines.append(" " * y_label_width + "  " + x_axis)
+    lines.append(f"   x: {fig.x_label};  y: {fig.y_label}")
+    for name, marker in legend.items():
+        lines.append(f"   {marker} = {name}")
+    return "\n".join(lines)
+
+
+def print_plot(fig: FigureResult, width: int = 64, height: int = 16) -> None:
+    """Render to stdout."""
+    print(render_plot(fig, width, height))

@@ -1,0 +1,70 @@
+"""ASCII rendering of figure results.
+
+The paper's figures are line plots; this module prints each
+:class:`~repro.experiments.figures.FigureResult` as a table with one
+row per x value and one column per series, which is what the bench
+harness emits and what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.experiments.figures import FigureResult
+
+
+def render_table(fig: FigureResult, precision: int = 1) -> str:
+    """Format a figure as a fixed-width ASCII table."""
+    series_names = list(fig.series)
+    xs: List[float] = sorted({x for pts in fig.series.values() for x, _ in pts})
+    lookup: Dict[str, Dict[float, float]] = {
+        name: dict(points) for name, points in fig.series.items()
+    }
+    header = [fig.x_label] + series_names
+    rows = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for name in series_names:
+            value = lookup[name].get(x)
+            row.append("-" if value is None else f"{value:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [
+        f"== {fig.figure_id}: {fig.title} ==",
+        f"   (y: {fig.y_label}; scale: {fig.meta})",
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def to_json(fig: FigureResult) -> str:
+    """Serialise a figure result (for archiving measured numbers)."""
+    return json.dumps(
+        {
+            "figure_id": fig.figure_id,
+            "title": fig.title,
+            "x_label": fig.x_label,
+            "y_label": fig.y_label,
+            "meta": fig.meta,
+            "series": {
+                name: sorted(points) for name, points in fig.series.items()
+            },
+            "errors": {
+                name: sorted(points) for name, points in fig.errors.items()
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def print_figure(fig: FigureResult) -> None:
+    """Render to stdout (bench harness convenience)."""
+    print(render_table(fig))

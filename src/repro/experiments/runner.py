@@ -1,0 +1,76 @@
+"""Multi-seed execution, mirroring the paper's methodology.
+
+Every data point is averaged over a set of seeds, and "the set of
+seeds used for different data points is the same" — :func:`run_seeds`
+takes an explicit seed list so sweeps reuse it.
+
+Runs are embarrassingly parallel; :func:`run_seeds` optionally fans
+out over a process pool (each run is fully determined by its config,
+so worker count never changes results).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.experiments.scenarios import RunResult, ScenarioConfig, run_scenario
+
+#: Seed list used by the full (paper-scale) evaluation: 30 runs.
+PAPER_SEEDS = tuple(range(1, 31))
+
+
+def default_workers() -> int:
+    """Worker processes to use: ``REPRO_WORKERS`` env or cpu count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(int(env), 1)
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_seeds(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+) -> List[RunResult]:
+    """Run the scenario once per seed (optionally in parallel).
+
+    Results come back in seed order regardless of scheduling.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    configs = [config.with_seed(seed) for seed in seeds]
+    n_workers = workers if workers is not None else default_workers()
+    if n_workers <= 1 or len(configs) == 1:
+        return [run_scenario(c) for c in configs]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(configs))) as pool:
+        return list(pool.map(run_scenario, configs))
+
+
+def run_configs(
+    configs: Sequence[ScenarioConfig],
+    workers: Optional[int] = None,
+) -> List[RunResult]:
+    """Run a heterogeneous batch of configs (optionally in parallel).
+
+    Used for sweeps where the topology itself varies (Figure 9's 30
+    random placements).  Results come back in input order.
+    """
+    if not configs:
+        raise ValueError("need at least one config")
+    n_workers = workers if workers is not None else default_workers()
+    if n_workers <= 1 or len(configs) == 1:
+        return [run_scenario(c) for c in configs]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(configs))) as pool:
+        return list(pool.map(run_scenario, configs))
+
+
+def average_metric(
+    results: Iterable[RunResult], metric: Callable[[RunResult], float]
+) -> float:
+    """Mean of a per-run metric over the runs."""
+    values = [metric(result) for result in results]
+    if not values:
+        raise ValueError("no results to average")
+    return sum(values) / len(values)

@@ -1,0 +1,193 @@
+"""Scenario assembly: topology + protocol -> a runnable simulation.
+
+:func:`run_scenario` is the single entry point every figure harness
+uses: it builds the kernel, medium, MACs, traffic sources and metrics
+collector for a :class:`ScenarioConfig`, runs to the horizon, and
+returns a :class:`RunResult` exposing the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
+
+from repro.core.params import PAPER_CONFIG, ProtocolConfig
+from repro.core.sender_policy import ConformingPolicy, policy_for_pm
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.fairness import jain_index
+from repro.net.node import Node, build_node
+from repro.net.topology import Topology
+from repro.net.traffic import BackloggedSource, CbrSource
+from repro.phy.constants import PhyTimings
+from repro.phy.medium import Medium
+from repro.phy.propagation import ShadowingModel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Known protocol names.
+PROTOCOL_80211 = "802.11"
+PROTOCOL_CORRECT = "correct"
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to reproduce one simulation run.
+
+    Attributes
+    ----------
+    topology:
+        Node placement and flows (see :mod:`repro.net.topology`).
+    protocol:
+        ``"802.11"`` (baseline) or ``"correct"`` (the paper's scheme).
+    duration_us:
+        Simulated horizon (the paper runs 50 s).
+    seed:
+        Master seed; all randomness derives from it.
+    payload_bytes:
+        DATA payload (512 in the paper).
+    protocol_config:
+        CORRECT parameters (ignored by the baseline).
+    policy_overrides:
+        Optional per-sender policy objects replacing the PM-derived
+        default (used to inject exotic misbehaviors).
+    enable_attempt_audit / audit_sender_assignments / refuse_diagnosed:
+        CORRECT extension switches (off by default, as in the paper's
+        main evaluation).
+    """
+
+    topology: Topology
+    protocol: str = PROTOCOL_CORRECT
+    duration_us: int = 50_000_000
+    seed: int = 1
+    payload_bytes: int = 512
+    protocol_config: ProtocolConfig = PAPER_CONFIG
+    policy_overrides: Dict[int, ConformingPolicy] = field(default_factory=dict)
+    enable_attempt_audit: bool = False
+    audit_sender_assignments: bool = False
+    refuse_diagnosed: bool = False
+    adaptive_thresh: bool = False
+    use_rts_cts: bool = True
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """Copy of this config under a different seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    config: ScenarioConfig
+    collector: MetricsCollector
+    events_processed: int
+
+    @property
+    def duration_us(self) -> int:
+        return self.config.duration_us
+
+    # ------------------------------------------------------------------
+    # Paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def correct_diagnosis_percent(self) -> float:
+        return self.collector.correct_diagnosis_percent()
+
+    @property
+    def misdiagnosis_percent(self) -> float:
+        return self.collector.misdiagnosis_percent()
+
+    @property
+    def avg_throughput_bps(self) -> float:
+        """Average throughput per well-behaved measured sender ("AVG")."""
+        return self.collector.average_wellbehaved_throughput(self.duration_us)
+
+    @property
+    def msb_throughput_bps(self) -> float:
+        """Average throughput per misbehaving sender ("MSB")."""
+        return self.collector.average_misbehaving_throughput(self.duration_us)
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's index over the measured senders' throughputs."""
+        return jain_index(self.collector.throughputs(self.duration_us).values())
+
+    def throughputs(self) -> Dict[int, float]:
+        """Per-sender throughput (bps) of the measured senders."""
+        return self.collector.throughputs(self.duration_us)
+
+
+def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
+              node_id: int, policy: ConformingPolicy):
+    if config.protocol == PROTOCOL_80211:
+        return DcfMac(
+            sim, medium, node_id, registry, collector,
+            payload_bytes=config.payload_bytes, policy=policy,
+            use_rts_cts=config.use_rts_cts,
+        )
+    if config.protocol == PROTOCOL_CORRECT:
+        return CorrectMac(
+            sim, medium, node_id, registry, collector,
+            payload_bytes=config.payload_bytes, policy=policy,
+            use_rts_cts=config.use_rts_cts,
+            config=config.protocol_config,
+            enable_attempt_audit=config.enable_attempt_audit,
+            audit_sender_assignments=config.audit_sender_assignments,
+            refuse_diagnosed=config.refuse_diagnosed,
+            adaptive_thresh=config.adaptive_thresh,
+        )
+    raise ValueError(f"unknown protocol {config.protocol!r}")
+
+
+def build_scenario(config: ScenarioConfig):
+    """Construct (but do not run) a scenario; returns (sim, nodes, collector).
+
+    Exposed separately from :func:`run_scenario` for tests that want
+    to poke at intermediate state.
+    """
+    topo = config.topology
+    sim = Simulator()
+    registry = RngRegistry(config.seed)
+    medium = Medium(
+        sim, ShadowingModel(), rng=registry.stream("shadowing"),
+        timings=PhyTimings(),
+    )
+    measured: Set[int] = {f.src for f in topo.flows if f.measured}
+    collector = MetricsCollector(
+        misbehaving=set(topo.misbehaving_senders), measured_senders=measured
+    )
+    flows_by_src = {f.src: f for f in topo.flows}
+    nodes: List[Node] = []
+    for node_id in topo.node_ids:
+        flow = flows_by_src.get(node_id)
+        if flow is not None:
+            policy = config.policy_overrides.get(
+                node_id, policy_for_pm(flow.pm_percent)
+            )
+            if flow.rate_bps is None:
+                source = BackloggedSource(flow.dst, config.payload_bytes)
+            else:
+                source = CbrSource(
+                    sim, flow.dst, flow.rate_bps, config.payload_bytes
+                )
+            # Pre-register the flow so zero-delivery senders still
+            # appear (with zero throughput) in fairness computations.
+            collector._flow(node_id)
+        else:
+            policy = ConformingPolicy()
+            source = None
+        mac = _make_mac(config, sim, medium, registry, collector, node_id, policy)
+        nodes.append(build_node(medium, mac, topo.positions[node_id], source))
+    return sim, nodes, collector
+
+
+def run_scenario(config: ScenarioConfig) -> RunResult:
+    """Build and run one scenario to its horizon."""
+    sim, nodes, collector = build_scenario(config)
+    for node in nodes:
+        node.start()
+    sim.run(until=config.duration_us)
+    return RunResult(
+        config=config, collector=collector, events_processed=sim.events_processed
+    )

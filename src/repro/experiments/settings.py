@@ -1,0 +1,95 @@
+"""Evaluation scale settings: paper-scale vs. quick (CI-friendly).
+
+The paper runs every data point for 50 simulated seconds averaged over
+30 seeds.  A pure-Python substrate reproduces the same *shapes* at a
+fraction of that cost, so the default harness scale is reduced; set
+``REPRO_FULL=1`` in the environment to run the paper-scale version
+(budget hours of CPU), or ``REPRO_QUICK=1`` to force the smallest
+sanity scale regardless of other settings.
+
+The seed list is shared across data points, mirroring "the set of
+seeds used for different data points is the same".
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Scale knobs shared by all figure harnesses.
+
+    Attributes
+    ----------
+    duration_us:
+        Simulated time per run.
+    seeds:
+        Seed list; every data point runs once per seed.
+    pm_values:
+        Percentage-of-misbehavior sweep (Figures 4, 5, 9).
+    network_sizes:
+        Sender-count sweep (Figures 6, 7).
+    fig8_pm_values:
+        PM levels of the responsiveness study (Figure 8).
+    fig8_bin_us:
+        Time-bin width of the Figure 8 series (1 s in the paper).
+    random_topologies:
+        Number of random placements for Figure 9 (30 in the paper).
+    random_nodes / random_misbehaving:
+        Random-topology population (40 nodes, 5 misbehaving).
+    """
+
+    duration_us: int
+    seeds: Tuple[int, ...]
+    pm_values: Tuple[float, ...] = (0.0, 10.0, 20.0, 30.0, 40.0, 50.0,
+                                    60.0, 70.0, 80.0, 90.0, 100.0)
+    network_sizes: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+    fig8_pm_values: Tuple[float, ...] = (40.0, 60.0, 80.0)
+    fig8_bin_us: int = 1_000_000
+    random_topologies: int = 30
+    random_nodes: int = 40
+    random_misbehaving: int = 5
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_us / 1_000_000
+
+
+#: The paper's configuration: 50 s x 30 seeds, full sweeps.
+PAPER_SETTINGS = EvalSettings(
+    duration_us=50_000_000,
+    seeds=tuple(range(1, 31)),
+)
+
+#: Default scaled-down configuration: same sweeps, shorter runs.
+DEFAULT_SETTINGS = EvalSettings(
+    duration_us=5_000_000,
+    seeds=(1, 2, 3, 4, 5),
+    pm_values=(0.0, 20.0, 40.0, 50.0, 60.0, 80.0, 100.0),
+    network_sizes=(1, 2, 4, 8, 16, 32, 64),
+    random_topologies=5,
+)
+
+#: Smallest sanity scale (used by CI smoke benches).
+QUICK_SETTINGS = EvalSettings(
+    duration_us=1_500_000,
+    seeds=(1, 2),
+    pm_values=(0.0, 50.0, 100.0),
+    network_sizes=(1, 8, 32),
+    fig8_pm_values=(40.0, 80.0),
+    random_topologies=2,
+    random_nodes=20,
+    random_misbehaving=3,
+)
+
+
+def active_settings() -> EvalSettings:
+    """Settings selected by the environment (see module docstring)."""
+    if os.environ.get("REPRO_QUICK"):
+        return QUICK_SETTINGS
+    if os.environ.get("REPRO_FULL"):
+        return PAPER_SETTINGS
+    return DEFAULT_SETTINGS

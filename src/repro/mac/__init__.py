@@ -1,0 +1,28 @@
+"""MAC layer: IEEE 802.11 DCF and the paper's modified (CORRECT) MAC."""
+
+from repro.mac.backoff_timer import BackoffTimer
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+from repro.mac.frames import Frame, FrameKind, ack_size, cts_size, data_size, rts_size
+from repro.mac.misbehaving_receiver import UnderAssigningReceiverMac
+from repro.mac.observer import ObserverMac, PairObservation
+from repro.mac.spoofing import AuthenticatingReceiverMac, SpoofingSenderMac
+from repro.mac.timing import ExchangeTiming
+
+__all__ = [
+    "BackoffTimer",
+    "CorrectMac",
+    "DcfMac",
+    "UnderAssigningReceiverMac",
+    "ObserverMac",
+    "PairObservation",
+    "AuthenticatingReceiverMac",
+    "SpoofingSenderMac",
+    "Frame",
+    "FrameKind",
+    "ack_size",
+    "cts_size",
+    "data_size",
+    "rts_size",
+    "ExchangeTiming",
+]

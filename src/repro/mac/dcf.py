@@ -1,0 +1,557 @@
+"""IEEE 802.11 DCF MAC state machine (sender + responder roles).
+
+:class:`DcfMac` implements the standard Distributed Coordination
+Function over the probabilistic medium: DIFS/EIFS deference, random
+backoff with binary-exponential contention windows, the four-way
+RTS/CTS/DATA/ACK exchange, NAV-based virtual carrier sense, CTS/ACK
+timeouts, and retry limits.  A node plays both roles: its *sender*
+half drains a traffic source toward a destination; its *responder*
+half answers RTS/DATA addressed to it.
+
+The paper's modified protocol (:class:`repro.mac.correct.CorrectMac`)
+subclasses this and overrides a small set of hooks: how initial and
+retry backoffs are chosen, what extra fields CTS/ACK carry, and what
+receiver-side monitoring happens around each exchange.
+
+Misbehavior is injected through a
+:class:`~repro.core.sender_policy.ConformingPolicy`-style policy
+object: the MAC asks it how many of the nominal backoff slots to
+actually count and what attempt number to advertise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.sender_policy import ConformingPolicy
+from repro.mac.backoff_timer import BackoffTimer
+from repro.mac.frames import Frame, FrameKind, ack_size, cts_size, data_size, rts_size
+from repro.mac.timing import ExchangeTiming
+from repro.phy.constants import PhyTimings, SHORT_RETRY_LIMIT
+from repro.phy.medium import Medium
+from repro.phy.sensing import IdleSlotCounter
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class _Exchange:
+    """Sender-side state for the packet currently being delivered."""
+
+    dst: int
+    seq: int
+    payload_bytes: int
+    attempt: int = 1
+    started_us: int = 0
+
+
+@dataclass
+class _Responder:
+    """Responder-side state for the exchange currently being answered."""
+
+    src: int
+    attempt: int
+    assignment: int = -1
+    diagnosed: bool = False
+    timeout: Optional[EventHandle] = None
+    extra: dict = field(default_factory=dict)
+
+
+class DcfMac:
+    """One node's MAC instance.
+
+    Parameters
+    ----------
+    sim / medium:
+        Kernel and channel.
+    node_id:
+        Unique integer identity (also used by the deterministic
+        function ``f`` under the modified protocol).
+    rng_registry:
+        Source of this node's random streams.
+    collector:
+        Metrics sink (see :mod:`repro.metrics.collector`).
+    payload_bytes:
+        DATA payload size for flows this node terminates (used for
+        responder-side timeout budgets as well).
+    policy:
+        Sender (mis)behaviour policy.
+    timings:
+        PHY timing bundle.
+    retry_limit:
+        Attempts per packet before the packet is dropped.
+    use_rts_cts:
+        True (default) runs the four-way RTS/CTS/DATA/ACK exchange the
+        paper evaluates; False runs basic access (DATA/ACK), which the
+        paper notes the scheme also supports — the attempt number then
+        travels in the DATA header and the assignment in the ACK.
+    """
+
+    #: Whether frames carry the CORRECT protocol extension fields.
+    modified_protocol = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: Medium,
+        node_id: int,
+        rng_registry: RngRegistry,
+        collector,
+        payload_bytes: int = 512,
+        policy: Optional[ConformingPolicy] = None,
+        timings: Optional[PhyTimings] = None,
+        retry_limit: int = SHORT_RETRY_LIMIT,
+        use_rts_cts: bool = True,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.node_id = node_id
+        self.collector = collector
+        self.payload_bytes = payload_bytes
+        self.policy = policy if policy is not None else ConformingPolicy()
+        self.timings = timings if timings is not None else medium.timings
+        self.retry_limit = retry_limit
+        self.use_rts_cts = use_rts_cts
+        #: Basic-access duplicate detection: sender -> last ACKed seq.
+        self._last_acked_seq: Dict[int, int] = {}
+        self.rng = rng_registry.stream(f"mac/{node_id}")
+        self.timer = BackoffTimer(
+            sim,
+            self.timings.slot_us,
+            rng_registry.stream(f"sense/{node_id}"),
+            lambda: self.medium.marginal_busy_probability(self.node_id),
+            self._current_ifs,
+            self._on_backoff_expired,
+        )
+        self.idle_counter = IdleSlotCounter(
+            self.timings.slot_us,
+            rng_registry.stream(f"idle/{node_id}"),
+            difs_us=self.timings.difs_us,
+        )
+        self.exchange_timing = ExchangeTiming(
+            self.timings, payload_bytes, self.modified_protocol
+        )
+        self.source = None  # attached via attach_source()
+        self._state = "idle"  # idle | backoff | await_cts | send_data | await_ack
+        self._current: Optional[_Exchange] = None
+        self._timeout: Optional[EventHandle] = None
+        self._responder: Optional[_Responder] = None
+        self._responding = False
+        self._nav_until = 0
+        self._nav_handle: Optional[EventHandle] = None
+        self._pending_eifs = False
+        self._seq = 0
+        #: Lifetime counters (observability / tests).
+        self.rts_sent = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach_source(self, source) -> None:
+        """Connect a traffic source; it may call :meth:`wake`."""
+        self.source = source
+
+    def start(self) -> None:
+        """Begin draining the source (call once at simulation start)."""
+        self._try_dequeue()
+
+    def wake(self) -> None:
+        """Source signal: a packet became available."""
+        if self._state == "idle":
+            self._try_dequeue()
+
+    # ------------------------------------------------------------------
+    # Medium listener interface
+    # ------------------------------------------------------------------
+    def on_channel_busy(self) -> None:
+        self.idle_counter.set_strong(True, self.sim.now)
+        self._update_blocked()
+
+    def on_channel_idle(self) -> None:
+        # The counter's deference mirrors what a conforming sender's
+        # backoff logic will do next: EIFS after a reception error,
+        # DIFS otherwise.
+        ifs = self.timings.eifs_us if self._pending_eifs else self.timings.difs_us
+        self.idle_counter.set_strong(False, self.sim.now, ifs_us=ifs)
+        self._update_blocked()
+
+    def on_marginal_change(self) -> None:
+        p = self.medium.marginal_busy_probability(self.node_id)
+        self.idle_counter.set_marginal_probability(p, self.sim.now)
+        self.timer.marginal_changed()
+
+    def on_frame_corrupted(self) -> None:
+        self._pending_eifs = True
+
+    def on_frame(self, frame: Frame) -> None:
+        self._pending_eifs = False
+        if frame.dst != self.node_id:
+            self._set_nav(frame)
+            return
+        if frame.kind is FrameKind.RTS:
+            self._handle_rts(frame)
+        elif frame.kind is FrameKind.CTS:
+            self._handle_cts(frame)
+        elif frame.kind is FrameKind.DATA:
+            self._handle_data(frame)
+        elif frame.kind is FrameKind.ACK:
+            self._handle_ack(frame)
+
+    # ------------------------------------------------------------------
+    # Carrier sense aggregation
+    # ------------------------------------------------------------------
+    def _update_blocked(self) -> None:
+        blocked = (
+            self.medium.strong_busy(self.node_id)
+            or self.sim.now < self._nav_until
+            or self._responding
+        )
+        self.timer.set_blocked(blocked)
+
+    def _current_ifs(self) -> int:
+        if self._pending_eifs:
+            self._pending_eifs = False
+            return self.timings.eifs_us
+        return self.timings.difs_us
+
+    def _set_nav(self, frame: Frame) -> None:
+        if frame.duration_us <= 0:
+            return
+        until = self.sim.now + frame.duration_us
+        if until <= self._nav_until:
+            return
+        self._nav_until = until
+        if self._nav_handle is not None:
+            self._nav_handle.cancel()
+        self._nav_handle = self.sim.schedule_at(until, self._update_blocked)
+        self._update_blocked()
+
+    # ------------------------------------------------------------------
+    # Sender half
+    # ------------------------------------------------------------------
+    def _try_dequeue(self) -> None:
+        if self._state != "idle" or self.source is None:
+            return
+        packet = self.source.next_packet(self.sim.now)
+        if packet is None:
+            return
+        self._seq += 1
+        self._current = _Exchange(
+            dst=packet.dst, seq=self._seq,
+            payload_bytes=packet.payload_bytes,
+            started_us=min(packet.created_us, self.sim.now),
+        )
+        self._begin_backoff(self._initial_backoff(packet.dst))
+
+    def _begin_backoff(self, nominal_slots: int) -> None:
+        effective = self.policy.effective_countdown(nominal_slots)
+        self._state = "backoff"
+        self.timer.start(effective)
+
+    def _on_backoff_expired(self) -> None:
+        if self.use_rts_cts:
+            self._transmit_rts()
+        else:
+            self._transmit_data_direct()
+
+    def _sender_timing(self) -> ExchangeTiming:
+        ex = self._current
+        if ex is None or ex.payload_bytes == self.payload_bytes:
+            return self.exchange_timing
+        return ExchangeTiming(self.timings, ex.payload_bytes, self.modified_protocol)
+
+    def _transmit_rts(self) -> None:
+        ex = self._current
+        assert ex is not None
+        et = self._sender_timing()
+        frame = Frame(
+            kind=FrameKind.RTS,
+            src=self.node_id,
+            dst=ex.dst,
+            size_bytes=rts_size(self.modified_protocol),
+            duration_us=et.rts_nav,
+            seq=ex.seq,
+            attempt=self.policy.reported_attempt(ex.attempt),
+        )
+        self.medium.start_transmission(
+            self.node_id, self._outbound(frame), et.rts_airtime
+        )
+        self.rts_sent += 1
+        self._state = "await_cts"
+        self._timeout = self.sim.schedule(
+            et.rts_airtime + et.cts_timeout, self._on_timeout
+        )
+
+    def _transmit_data_direct(self) -> None:
+        """Basic access: send DATA straight after the backoff."""
+        ex = self._current
+        assert ex is not None
+        et = self._sender_timing()
+        frame = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=ex.dst,
+            size_bytes=data_size(ex.payload_bytes),
+            duration_us=et.data_nav,
+            seq=ex.seq,
+            attempt=self.policy.reported_attempt(ex.attempt),
+            payload_bytes=ex.payload_bytes,
+        )
+        self.medium.start_transmission(
+            self.node_id, self._outbound(frame), et.data_airtime
+        )
+        self._state = "await_ack"
+        self._timeout = self.sim.schedule(
+            et.data_airtime + et.ack_timeout, self._on_timeout
+        )
+
+    def _handle_cts(self, frame: Frame) -> None:
+        ex = self._current
+        if self._state != "await_cts" or ex is None or frame.src != ex.dst:
+            return
+        self._cancel_timeout()
+        self._note_assignment(frame)
+        self._state = "send_data"
+        self.sim.schedule(self.timings.sifs_us, self._transmit_data)
+
+    def _transmit_data(self) -> None:
+        ex = self._current
+        assert ex is not None
+        et = self._sender_timing()
+        frame = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=ex.dst,
+            size_bytes=data_size(ex.payload_bytes),
+            duration_us=et.data_nav,
+            seq=ex.seq,
+            payload_bytes=ex.payload_bytes,
+        )
+        self.medium.start_transmission(
+            self.node_id, self._outbound(frame), et.data_airtime
+        )
+        self._state = "await_ack"
+        self._timeout = self.sim.schedule(
+            et.data_airtime + et.ack_timeout, self._on_timeout
+        )
+
+    def _handle_ack(self, frame: Frame) -> None:
+        ex = self._current
+        if self._state != "await_ack" or ex is None or frame.src != ex.dst:
+            return
+        self._cancel_timeout()
+        self._note_assignment(frame)
+        self.packets_delivered += 1
+        self.collector.on_sender_success(
+            self.node_id, ex.dst, ex.attempt, self.sim.now,
+            delay_us=self.sim.now - ex.started_us,
+        )
+        if self.source is not None:
+            self.source.packet_done(self.sim.now)
+        self._finish_exchange()
+
+    def _on_timeout(self) -> None:
+        ex = self._current
+        assert ex is not None
+        self._timeout = None
+        ex.attempt += 1
+        if ex.attempt > self.retry_limit:
+            self.packets_dropped += 1
+            self.collector.on_sender_drop(self.node_id, ex.dst, self.sim.now)
+            if self.source is not None:
+                self.source.packet_done(self.sim.now)
+            self._finish_exchange()
+            return
+        self._begin_backoff(self._retry_backoff(ex.dst, ex.attempt))
+
+    def _finish_exchange(self) -> None:
+        self._current = None
+        self._state = "idle"
+        self._try_dequeue()
+
+    def _cancel_timeout(self) -> None:
+        if self._timeout is not None:
+            self._timeout.cancel()
+            self._timeout = None
+
+    # ------------------------------------------------------------------
+    # Responder half
+    # ------------------------------------------------------------------
+    def _handle_rts(self, frame: Frame) -> None:
+        if self._responding:
+            resp = self._responder
+            # A retried RTS from the same sender while we await its
+            # DATA means our CTS was lost; restart the response.
+            if resp is not None and resp.src == frame.src and resp.timeout is not None:
+                self._clear_responder()
+            else:
+                return
+        if self._state in ("await_cts", "send_data", "await_ack"):
+            return
+        if self.sim.now < self._nav_until:
+            return  # the standard forbids answering RTS under NAV
+        response = self._make_cts_response(frame)
+        if response is None:
+            return
+        self._responding = True
+        self._responder = response
+        self._update_blocked()
+        self.sim.schedule(self.timings.sifs_us, self._transmit_cts)
+
+    def _transmit_cts(self) -> None:
+        resp = self._responder
+        assert resp is not None
+        et = self.exchange_timing
+        frame = Frame(
+            kind=FrameKind.CTS,
+            src=self.node_id,
+            dst=resp.src,
+            size_bytes=cts_size(self.modified_protocol),
+            duration_us=et.cts_nav,
+            assigned_backoff=resp.assignment,
+        )
+        self.medium.start_transmission(
+            self.node_id, self._outbound(frame), et.cts_airtime
+        )
+        self.sim.schedule(et.cts_airtime, self._after_cts)
+
+    def _after_cts(self) -> None:
+        resp = self._responder
+        if resp is None:
+            return
+        self._on_response_sent("cts", resp)
+        resp.timeout = self.sim.schedule(
+            self.exchange_timing.data_timeout, self._responder_timeout
+        )
+
+    def _handle_data(self, frame: Frame) -> None:
+        resp = self._responder
+        if self._responding and resp is not None and frame.src == resp.src:
+            # RTS/CTS mode: the DATA we cleared with our CTS.
+            if resp.timeout is not None:
+                resp.timeout.cancel()
+                resp.timeout = None
+            self.collector.on_delivery(
+                src=frame.src,
+                dst=self.node_id,
+                payload_bytes=frame.payload_bytes,
+                time=self.sim.now,
+                diagnosed=resp.diagnosed,
+            )
+            self.sim.schedule(self.timings.sifs_us, self._transmit_ack)
+            return
+        if self.use_rts_cts:
+            return
+        # Basic access: an unsolicited DATA initiates the response.
+        if self._responding or self._state in (
+            "await_cts", "send_data", "await_ack"
+        ):
+            return
+        if self.sim.now < self._nav_until:
+            return
+        duplicate = self._last_acked_seq.get(frame.src) == frame.seq
+        response = self._make_data_response(frame, duplicate)
+        if response is None:
+            return
+        self._responding = True
+        self._responder = response
+        self._update_blocked()
+        if not duplicate:
+            self._last_acked_seq[frame.src] = frame.seq
+            self.collector.on_delivery(
+                src=frame.src,
+                dst=self.node_id,
+                payload_bytes=frame.payload_bytes,
+                time=self.sim.now,
+                diagnosed=response.diagnosed,
+            )
+        self.sim.schedule(self.timings.sifs_us, self._transmit_ack)
+
+    def _transmit_ack(self) -> None:
+        resp = self._responder
+        assert resp is not None
+        et = self.exchange_timing
+        frame = Frame(
+            kind=FrameKind.ACK,
+            src=self.node_id,
+            dst=resp.src,
+            size_bytes=ack_size(self.modified_protocol),
+            duration_us=0,
+            assigned_backoff=resp.assignment,
+        )
+        self.medium.start_transmission(
+            self.node_id, self._outbound(frame), et.ack_airtime
+        )
+        self.sim.schedule(et.ack_airtime, self._after_ack)
+
+    def _after_ack(self) -> None:
+        resp = self._responder
+        if resp is None:
+            return
+        # A duplicate-DATA re-ACK leaves the sender retrying the same
+        # packet if this ACK is lost again, so the monitor's reference
+        # must expect stage attempt+1 next ("cts" semantics) rather
+        # than a fresh packet.
+        kind = "cts" if resp.extra.get("duplicate") else "ack"
+        self._on_response_sent(kind, resp)
+        self._clear_responder()
+
+    def _responder_timeout(self) -> None:
+        self._clear_responder()
+
+    def _clear_responder(self) -> None:
+        resp = self._responder
+        if resp is not None and resp.timeout is not None:
+            resp.timeout.cancel()
+        self._responder = None
+        self._responding = False
+        self._update_blocked()
+
+    # ------------------------------------------------------------------
+    # Protocol hooks (overridden by the CORRECT MAC)
+    # ------------------------------------------------------------------
+    def _initial_backoff(self, dst: int) -> int:
+        """Backoff for a packet's first attempt (802.11: uniform [0, CWmin])."""
+        cw = self.policy.next_contention_window(
+            1, self.timings.cw_min, self.timings.cw_max
+        )
+        return self.policy.select_backoff(self.rng, cw)
+
+    def _retry_backoff(self, dst: int, attempt: int) -> int:
+        """Backoff after a failed attempt (802.11: uniform from doubled CW)."""
+        cw = self.policy.next_contention_window(
+            attempt, self.timings.cw_min, self.timings.cw_max
+        )
+        return self.policy.select_backoff(self.rng, cw)
+
+    def _outbound(self, frame: Frame) -> Frame:
+        """Last-touch hook on every frame this node puts on the air.
+
+        The default is the identity; the spoofing adversary rewrites
+        the source address here.
+        """
+        return frame
+
+    def _make_cts_response(self, rts: Frame) -> Optional[_Responder]:
+        """Decide whether/how to answer an RTS; None means stay silent."""
+        return _Responder(src=rts.src, attempt=rts.attempt)
+
+    def _make_data_response(
+        self, data: Frame, duplicate: bool
+    ) -> Optional[_Responder]:
+        """Basic access: decide whether/how to ACK an unsolicited DATA."""
+        resp = _Responder(src=data.src, attempt=data.attempt)
+        resp.extra["duplicate"] = duplicate
+        return resp
+
+    def _on_response_sent(self, kind: str, resp: _Responder) -> None:
+        """Called when a CTS/ACK to ``resp.src`` finished transmitting."""
+
+    def _note_assignment(self, frame: Frame) -> None:
+        """Called on CTS/ACK from our receiver (CORRECT stores it)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DcfMac(node={self.node_id}, state={self._state})"

@@ -1,0 +1,68 @@
+"""Receiver-side misbehavior model (Section 4.4).
+
+In ad hoc networks the receiver itself may cheat when assigning
+backoffs: handing a favoured sender *small* values pulls data from it
+faster, at the expense of every other flow contending nearby.
+:class:`UnderAssigningReceiverMac` implements that adversary: it runs
+the normal CORRECT receiver logic but scales down the assignment it
+advertises to its favoured sender(s).
+
+The defence is on the sender side: with
+``audit_sender_assignments=True`` (and receivers required to use the
+deterministic function ``g``), a sender recomputes the honest
+assignment, flags the under-assignment, and voluntarily waits the
+honest amount — neutralising the receiver's lever.  The end-to-end
+behaviour is exercised in ``tests/test_misbehaving_receiver.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import _Responder
+from repro.mac.frames import Frame
+
+
+class UnderAssigningReceiverMac(CorrectMac):
+    """A CORRECT receiver that under-assigns backoffs to favourites.
+
+    Extra parameters
+    ----------------
+    favoured:
+        Sender ids that receive shrunken assignments (all senders when
+        empty — a receiver greedy for any inbound traffic).
+    assignment_divisor:
+        How much the advertised assignment is divided by.
+    """
+
+    def __init__(
+        self,
+        *args,
+        favoured: Optional[Iterable[int]] = None,
+        assignment_divisor: float = 8.0,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if assignment_divisor < 1.0:
+            raise ValueError("assignment_divisor must be >= 1")
+        self.favoured: Set[int] = set(favoured or ())
+        self.assignment_divisor = assignment_divisor
+        #: How many assignments were shrunk (observability).
+        self.under_assignments = 0
+
+    def _is_favoured(self, sender: int) -> bool:
+        return not self.favoured or sender in self.favoured
+
+    def _make_cts_response(self, rts: Frame) -> Optional[_Responder]:
+        response = super()._make_cts_response(rts)
+        if response is None or not self._is_favoured(rts.src):
+            return response
+        shrunk = int(response.assignment / self.assignment_divisor)
+        if shrunk < response.assignment:
+            self.under_assignments += 1
+        response.assignment = shrunk
+        # Keep the monitor's own expectation consistent with what was
+        # actually advertised, as a real cheating receiver would.
+        self.monitor_for(rts.src).current_assignment = shrunk
+        return response

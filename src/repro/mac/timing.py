@@ -1,0 +1,95 @@
+"""Exchange timing: airtimes, NAV durations and timeout budgets.
+
+All helpers take the :class:`~repro.phy.constants.PhyTimings` bundle so
+tests can shrink the numbers.  NAV durations follow the standard: each
+frame advertises the time the rest of the exchange still needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.frames import ack_size, cts_size, data_size, rts_size
+from repro.phy.constants import PhyTimings
+
+
+@dataclass(frozen=True)
+class ExchangeTiming:
+    """Precomputed airtimes and NAV values for one payload size.
+
+    Parameters
+    ----------
+    timings:
+        PHY timing bundle.
+    payload_bytes:
+        DATA payload size.
+    modified_protocol:
+        Whether the CORRECT header extensions are carried (slightly
+        larger RTS/CTS/ACK).
+    """
+
+    timings: PhyTimings
+    payload_bytes: int
+    modified_protocol: bool
+
+    @property
+    def rts_airtime(self) -> int:
+        return self.timings.frame_airtime_us(rts_size(self.modified_protocol))
+
+    @property
+    def cts_airtime(self) -> int:
+        return self.timings.frame_airtime_us(cts_size(self.modified_protocol))
+
+    @property
+    def data_airtime(self) -> int:
+        return self.timings.frame_airtime_us(data_size(self.payload_bytes))
+
+    @property
+    def ack_airtime(self) -> int:
+        return self.timings.frame_airtime_us(ack_size(self.modified_protocol))
+
+    # ------------------------------------------------------------------
+    # NAV durations (time remaining after the carrying frame ends)
+    # ------------------------------------------------------------------
+    @property
+    def rts_nav(self) -> int:
+        """CTS + DATA + ACK plus the three interleaving SIFS gaps."""
+        s = self.timings.sifs_us
+        return 3 * s + self.cts_airtime + self.data_airtime + self.ack_airtime
+
+    @property
+    def cts_nav(self) -> int:
+        """DATA + ACK plus two SIFS gaps."""
+        s = self.timings.sifs_us
+        return 2 * s + self.data_airtime + self.ack_airtime
+
+    @property
+    def data_nav(self) -> int:
+        """ACK plus one SIFS gap."""
+        return self.timings.sifs_us + self.ack_airtime
+
+    # ------------------------------------------------------------------
+    # Timeouts (measured from the end of the sender's own frame)
+    # ------------------------------------------------------------------
+    @property
+    def cts_timeout(self) -> int:
+        """How long to await a CTS: SIFS + CTS airtime + 2 slots slack."""
+        return self.timings.sifs_us + self.cts_airtime + 2 * self.timings.slot_us
+
+    @property
+    def ack_timeout(self) -> int:
+        """How long to await an ACK: SIFS + ACK airtime + 2 slots slack."""
+        return self.timings.sifs_us + self.ack_airtime + 2 * self.timings.slot_us
+
+    @property
+    def data_timeout(self) -> int:
+        """Responder's wait for DATA after sending CTS."""
+        return self.timings.sifs_us + self.data_airtime + 2 * self.timings.slot_us
+
+    @property
+    def exchange_airtime(self) -> int:
+        """Total busy time of one successful four-way exchange."""
+        return (
+            self.rts_airtime + self.cts_airtime + self.data_airtime
+            + self.ack_airtime + 3 * self.timings.sifs_us
+        )

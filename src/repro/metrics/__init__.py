@@ -1,0 +1,16 @@
+"""Metrics: per-run collection, fairness, cross-run aggregation."""
+
+from repro.metrics.collector import DeliveryRecord, FlowStats, MetricsCollector
+from repro.metrics.fairness import jain_index
+from repro.metrics.stats import Summary, elementwise_mean, mean, summarize
+
+__all__ = [
+    "DeliveryRecord",
+    "FlowStats",
+    "MetricsCollector",
+    "jain_index",
+    "Summary",
+    "elementwise_mean",
+    "mean",
+    "summarize",
+]

@@ -1,0 +1,243 @@
+"""Run-level metrics collection.
+
+One :class:`MetricsCollector` instance accompanies a simulation run.
+MACs report events into it; at the end of the run it produces the
+paper's four metrics (Section 5):
+
+1. *Correct diagnosis* — % of packets from misbehaving senders whose
+   reception found the sender diagnosed as misbehaving;
+2. *Misdiagnosis* — % of packets from well-behaved senders whose
+   reception found the sender (wrongly) diagnosed;
+3. *AVG* — average throughput per well-behaved sender;
+4. *MSB* — average throughput per misbehaving sender.
+
+plus Jain's fairness index and the Figure 8 time series (per-interval
+correct-diagnosis percentage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One successfully delivered DATA packet."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    time_us: int
+    diagnosed: bool
+
+
+@dataclass
+class FlowStats:
+    """Accumulated per-sender statistics."""
+
+    delivered_packets: int = 0
+    delivered_bytes: int = 0
+    diagnosed_packets: int = 0
+    dropped_packets: int = 0
+    deviations: int = 0
+    penalties_assigned: int = 0
+    penalty_slots: int = 0
+    #: MAC access delays (sender-side, packet start -> ACK) in us.
+    total_delay_us: int = 0
+    acked_packets: int = 0
+    total_attempts: int = 0
+
+    @property
+    def mean_delay_us(self) -> float:
+        """Mean head-of-line-to-ACK delay of acknowledged packets."""
+        if self.acked_packets == 0:
+            return 0.0
+        return self.total_delay_us / self.acked_packets
+
+    @property
+    def mean_attempts(self) -> float:
+        """Mean transmission attempts per acknowledged packet."""
+        if self.acked_packets == 0:
+            return 0.0
+        return self.total_attempts / self.acked_packets
+
+
+class MetricsCollector:
+    """Event sink and metric computer for one simulation run.
+
+    Parameters
+    ----------
+    misbehaving:
+        Ground-truth set of misbehaving sender ids.
+    measured_senders:
+        When given, diagnosis/throughput summaries consider only these
+        senders (the circle scenarios exclude the interferer flows
+        from the per-sender metrics; they are load, not subjects).
+    """
+
+    def __init__(
+        self,
+        misbehaving: Optional[Set[int]] = None,
+        measured_senders: Optional[Set[int]] = None,
+    ):
+        self.misbehaving: Set[int] = set(misbehaving or ())
+        self.measured_senders = measured_senders
+        self.deliveries: List[DeliveryRecord] = []
+        self.flows: Dict[int, FlowStats] = {}
+        self.audit_outcomes: List[Tuple[int, object, int]] = []
+        self.receiver_audit_events: List[Tuple[int, int, object, int]] = []
+
+    # ------------------------------------------------------------------
+    # MAC-facing event API
+    # ------------------------------------------------------------------
+    def _flow(self, src: int) -> FlowStats:
+        stats = self.flows.get(src)
+        if stats is None:
+            stats = FlowStats()
+            self.flows[src] = stats
+        return stats
+
+    def on_delivery(
+        self, src: int, dst: int, payload_bytes: int, time: int, diagnosed: bool
+    ) -> None:
+        """A DATA packet was successfully received at its destination."""
+        self.deliveries.append(
+            DeliveryRecord(src, dst, payload_bytes, time, diagnosed)
+        )
+        stats = self._flow(src)
+        stats.delivered_packets += 1
+        stats.delivered_bytes += payload_bytes
+        if diagnosed:
+            stats.diagnosed_packets += 1
+
+    def on_sender_success(
+        self, src: int, dst: int, attempts: int, time: int,
+        delay_us: int = 0,
+    ) -> None:
+        """Sender-side view of a completed exchange (ACK received)."""
+        stats = self._flow(src)
+        stats.acked_packets += 1
+        stats.total_attempts += attempts
+        stats.total_delay_us += delay_us
+
+    def mean_delay_us(self, src: int) -> float:
+        """Mean MAC access delay of one sender's delivered packets."""
+        stats = self.flows.get(src)
+        return stats.mean_delay_us if stats is not None else 0.0
+
+    def on_sender_drop(self, src: int, dst: int, time: int) -> None:
+        """A packet exceeded the retry limit and was dropped."""
+        self._flow(src).dropped_packets += 1
+
+    def on_rts_verdict(self, receiver: int, sender: int, verdict, time: int) -> None:
+        """Receiver-side monitor verdict for one RTS (CORRECT only)."""
+        stats = self._flow(sender)
+        if verdict.checked and verdict.deviation is not None and verdict.deviation.deviated:
+            stats.deviations += 1
+        if verdict.penalty > 0:
+            stats.penalties_assigned += 1
+            stats.penalty_slots += verdict.penalty
+
+    def on_attempt_audit(self, receiver: int, outcome, time: int) -> None:
+        """A completed intentional-drop attempt audit."""
+        self.audit_outcomes.append((receiver, outcome, time))
+
+    def on_receiver_audit(self, sender: int, receiver: int, verdict, time: int) -> None:
+        """A sender flagged a receiver's under-assignment (g audit)."""
+        self.receiver_audit_events.append((sender, receiver, verdict, time))
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def _subject(self, src: int) -> bool:
+        return self.measured_senders is None or src in self.measured_senders
+
+    def throughput_bps(self, src: int, duration_us: int) -> float:
+        """Delivered application throughput of one sender."""
+        if duration_us <= 0:
+            raise ValueError("duration must be positive")
+        stats = self.flows.get(src)
+        if stats is None:
+            return 0.0
+        return stats.delivered_bytes * 8 * 1_000_000 / duration_us
+
+    def throughputs(self, duration_us: int) -> Dict[int, float]:
+        """Throughput of every *measured* sender that delivered data."""
+        return {
+            src: self.throughput_bps(src, duration_us)
+            for src in self.flows
+            if self._subject(src)
+        }
+
+    def average_wellbehaved_throughput(
+        self, duration_us: int, senders: Optional[Set[int]] = None
+    ) -> float:
+        """Mean throughput per well-behaved measured sender ("AVG")."""
+        pool = senders if senders is not None else {
+            s for s in self.flows if self._subject(s)
+        }
+        values = [
+            self.throughput_bps(s, duration_us)
+            for s in pool
+            if s not in self.misbehaving
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def average_misbehaving_throughput(
+        self, duration_us: int, senders: Optional[Set[int]] = None
+    ) -> float:
+        """Mean throughput per misbehaving sender ("MSB")."""
+        pool = senders if senders is not None else set(self.misbehaving)
+        values = [
+            self.throughput_bps(s, duration_us) for s in pool
+            if s in self.misbehaving
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def _diagnosis_rate(self, want_misbehaving: bool) -> float:
+        packets = 0
+        flagged = 0
+        for record in self.deliveries:
+            if not self._subject(record.src):
+                continue
+            if (record.src in self.misbehaving) != want_misbehaving:
+                continue
+            packets += 1
+            if record.diagnosed:
+                flagged += 1
+        return 100.0 * flagged / packets if packets else 0.0
+
+    def correct_diagnosis_percent(self) -> float:
+        """Paper metric 1: % of misbehaving senders' packets diagnosed."""
+        return self._diagnosis_rate(want_misbehaving=True)
+
+    def misdiagnosis_percent(self) -> float:
+        """Paper metric 2: % of honest senders' packets (mis)diagnosed."""
+        return self._diagnosis_rate(want_misbehaving=False)
+
+    def diagnosis_time_series(
+        self, bin_us: int, duration_us: int, misbehaving_only: bool = True
+    ) -> List[float]:
+        """Figure 8 series: per-bin correct-diagnosis percentage.
+
+        Bins with no packets report 0.0 (matching the paper's
+        averaging over runs, where empty intervals contribute nothing).
+        """
+        if bin_us <= 0:
+            raise ValueError("bin size must be positive")
+        n_bins = max((duration_us + bin_us - 1) // bin_us, 1)
+        totals = [0] * n_bins
+        flagged = [0] * n_bins
+        for record in self.deliveries:
+            if not self._subject(record.src):
+                continue
+            if (record.src in self.misbehaving) != misbehaving_only:
+                continue
+            index = min(record.time_us // bin_us, n_bins - 1)
+            totals[index] += 1
+            if record.diagnosed:
+                flagged[index] += 1
+        return [
+            100.0 * f / t if t else 0.0 for f, t in zip(flagged, totals)
+        ]

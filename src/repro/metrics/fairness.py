@@ -1,0 +1,33 @@
+"""Jain's fairness index (used by Figure 7).
+
+The paper cites Jain et al.'s definition::
+
+    fairness = (sum_f T_f)^2 / (N * sum_f T_f^2)
+
+over the throughputs ``T_f`` of the ``N`` flows between senders and
+the common receiver.  The index is 1 when all flows are equal and
+``1/N`` when one flow monopolises the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def jain_index(throughputs: Iterable[float]) -> float:
+    """Jain's fairness index of the given flow throughputs.
+
+    Raises ``ValueError`` on an empty input.  A set of all-zero
+    throughputs is defined here as perfectly fair (index 1.0): nobody
+    got anything, equally.
+    """
+    values: Sequence[float] = list(throughputs)
+    if not values:
+        raise ValueError("need at least one throughput value")
+    if any(v < 0 for v in values):
+        raise ValueError("throughputs must be non-negative")
+    total = sum(values)
+    if total == 0.0:
+        return 1.0
+    squared = sum(v * v for v in values)
+    return (total * total) / (len(values) * squared)

@@ -1,0 +1,63 @@
+"""Aggregation across seeded runs: means and confidence intervals.
+
+The paper averages every data point over 30 seeded runs.  These
+helpers compute the mean and a normal-approximation confidence
+interval without requiring scipy at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, standard deviation and half-width CI of a sample."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} +/- {self.ci95:.2f} (n={self.n})"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics of a sample (95% normal CI).
+
+    A single observation yields a zero-width interval rather than an
+    error, since scaled-down bench runs may use one seed.
+    """
+    data: Sequence[float] = list(values)
+    if not data:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    if n == 1:
+        return Summary(mean=mean, std=0.0, ci95=0.0, n=1)
+    variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+    std = math.sqrt(variance)
+    ci95 = 1.96 * std / math.sqrt(n)
+    return Summary(mean=mean, std=std, ci95=ci95, n=n)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sample, for plot convenience)."""
+    data: List[float] = list(values)
+    return sum(data) / len(data) if data else 0.0
+
+
+def elementwise_mean(series_list: Sequence[Sequence[float]]) -> List[float]:
+    """Mean across runs of equal-length time series (Figure 8)."""
+    if not series_list:
+        return []
+    length = len(series_list[0])
+    if any(len(s) != length for s in series_list):
+        raise ValueError("series must share a length")
+    return [
+        sum(series[i] for series in series_list) / len(series_list)
+        for i in range(length)
+    ]

@@ -1,0 +1,29 @@
+"""Nodes, traffic sources, and the paper's topologies."""
+
+from repro.net.mobility import LinearMobility, RandomWaypointMobility
+from repro.net.node import Node, build_node
+from repro.net.topology import (
+    CIRCLE_RADIUS_M,
+    FlowSpec,
+    Topology,
+    circle_positions,
+    circle_topology,
+    random_topology,
+)
+from repro.net.traffic import BackloggedSource, CbrSource, Packet
+
+__all__ = [
+    "LinearMobility",
+    "RandomWaypointMobility",
+    "Node",
+    "build_node",
+    "CIRCLE_RADIUS_M",
+    "FlowSpec",
+    "Topology",
+    "circle_positions",
+    "circle_topology",
+    "random_topology",
+    "BackloggedSource",
+    "CbrSource",
+    "Packet",
+]

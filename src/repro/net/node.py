@@ -1,0 +1,48 @@
+"""Node assembly: position + MAC + optional traffic source.
+
+A :class:`Node` is a thin bundle that wires a MAC instance onto the
+medium at a position and attaches its traffic source.  Scenario
+builders (:mod:`repro.experiments.scenarios`) create one per topology
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class Node:
+    """One wireless host.
+
+    Attributes
+    ----------
+    node_id:
+        Unique identity shared with the MAC.
+    position:
+        (x, y) in meters.
+    mac:
+        The node's MAC instance (already registered on the medium).
+    source:
+        Traffic source when the node originates a flow, else None.
+    """
+
+    node_id: int
+    position: Tuple[float, float]
+    mac: object
+    source: Optional[object] = None
+
+    def start(self) -> None:
+        """Kick off the node's sender half (no-op for pure receivers)."""
+        if self.source is not None:
+            self.mac.start()
+
+
+def build_node(medium, mac, position, source=None) -> Node:
+    """Register ``mac`` on ``medium`` at ``position`` and bundle it."""
+    medium.register(mac, position)
+    if source is not None:
+        source.attach(mac)
+        mac.attach_source(source)
+    return Node(node_id=mac.node_id, position=position, mac=mac, source=source)

@@ -1,0 +1,194 @@
+"""Topologies of the paper's evaluation (Section 5).
+
+Three layouts are used:
+
+* the **circle** topology — ``n`` senders equidistant on a 150 m
+  circle around a common receiver R (Figure 3), optionally with the
+  two interferer flows A->B and C->D placed 500 m on either side of R;
+* parametric variants of the circle for the network-size sweeps of
+  Figures 6 and 7 (1 to 64 senders);
+* the **random** topology of Figure 9 — 40 nodes uniform in a
+  1500 m x 700 m area, each setting up a CBR connection to one of its
+  neighbors, with 5 randomly chosen senders misbehaving.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.phy.propagation import RECEIVE_RANGE_M, distance
+
+Position = Tuple[float, float]
+
+#: Radius of the sender circle around the receiver (Figure 3).
+CIRCLE_RADIUS_M = 150.0
+
+#: Distance of each interferer flow from the receiver (Figure 3).
+INTERFERER_OFFSET_M = 500.0
+
+#: Distance between an interferer sender and its own receiver.
+INTERFERER_LINK_M = 150.0
+
+#: Random-topology area of Figure 9.
+RANDOM_AREA_M = (1500.0, 700.0)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One CBR flow: sender, receiver, rate (None = backlogged), PM.
+
+    ``measured`` marks flows whose senders count toward the paper's
+    per-sender metrics; the TWO-FLOW interferers are load, not
+    subjects, and are created with ``measured=False``.
+    """
+
+    src: int
+    dst: int
+    rate_bps: Optional[int] = None
+    pm_percent: float = 0.0
+    measured: bool = True
+
+    @property
+    def misbehaving(self) -> bool:
+        return self.pm_percent > 0.0
+
+
+@dataclass
+class Topology:
+    """Node positions plus the flows running over them."""
+
+    positions: Dict[int, Position]
+    flows: List[FlowSpec] = field(default_factory=list)
+
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.positions)
+
+    @property
+    def senders(self) -> List[int]:
+        return [f.src for f in self.flows]
+
+    @property
+    def misbehaving_senders(self) -> List[int]:
+        return [f.src for f in self.flows if f.misbehaving]
+
+    def flow_of(self, src: int) -> FlowSpec:
+        for flow in self.flows:
+            if flow.src == src:
+                return flow
+        raise KeyError(f"no flow originates at node {src}")
+
+
+def circle_positions(n_senders: int, radius_m: float = CIRCLE_RADIUS_M) -> List[Position]:
+    """Positions of ``n`` senders equidistant on a circle around (0,0).
+
+    Sender ``i`` (1-based in the paper's numbering) sits at angle
+    ``(i-1) * 2*pi/n``.
+    """
+    if n_senders < 1:
+        raise ValueError("need at least one sender")
+    positions = []
+    for i in range(n_senders):
+        angle = 2.0 * math.pi * i / n_senders
+        positions.append((radius_m * math.cos(angle), radius_m * math.sin(angle)))
+    return positions
+
+
+def circle_topology(
+    n_senders: int = 8,
+    misbehaving: Tuple[int, ...] = (),
+    pm_percent: float = 0.0,
+    with_interferers: bool = False,
+    interferer_rate_bps: int = 500_000,
+    radius_m: float = CIRCLE_RADIUS_M,
+) -> Topology:
+    """The Figure 3 setup.
+
+    Node ids: receiver R is 0; senders are 1..n (paper numbering);
+    interferers A, B, C, D are 101, 102, 103, 104.  ``misbehaving``
+    lists sender ids (the paper uses node 3) that run with
+    ``pm_percent`` misbehavior; all senders are backlogged toward R.
+
+    ZERO-FLOW is ``with_interferers=False``; TWO-FLOW turns on the two
+    500 Kbps CBR flows A->B and C->D at +-500 m.
+    """
+    positions: Dict[int, Position] = {0: (0.0, 0.0)}
+    for i, pos in enumerate(circle_positions(n_senders, radius_m), start=1):
+        positions[i] = pos
+    flows = [
+        FlowSpec(
+            src=i,
+            dst=0,
+            rate_bps=None,
+            pm_percent=pm_percent if i in misbehaving else 0.0,
+        )
+        for i in range(1, n_senders + 1)
+    ]
+    if with_interferers:
+        offset = INTERFERER_OFFSET_M
+        link = INTERFERER_LINK_M
+        positions[101] = (-offset, 0.0)           # A
+        positions[102] = (-offset - link, 0.0)    # B
+        positions[103] = (offset, 0.0)            # C
+        positions[104] = (offset + link, 0.0)     # D
+        flows.append(
+            FlowSpec(src=101, dst=102, rate_bps=interferer_rate_bps, measured=False)
+        )
+        flows.append(
+            FlowSpec(src=103, dst=104, rate_bps=interferer_rate_bps, measured=False)
+        )
+    return Topology(positions=positions, flows=flows)
+
+
+def random_topology(
+    rng: random.Random,
+    n_nodes: int = 40,
+    n_misbehaving: int = 5,
+    pm_percent: float = 0.0,
+    area_m: Tuple[float, float] = RANDOM_AREA_M,
+    neighbor_range_m: float = RECEIVE_RANGE_M,
+) -> Topology:
+    """The Figure 9 setup: random placement, CBR to a nearby neighbor.
+
+    Each node sets up one backlogged CBR connection to a uniformly
+    chosen neighbor within reliable reception range (falling back to
+    the nearest node when isolated).  ``n_misbehaving`` senders are
+    drawn at random and given ``pm_percent`` misbehavior.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if not 0 <= n_misbehaving <= n_nodes:
+        raise ValueError("n_misbehaving out of range")
+    width, height = area_m
+    positions: Dict[int, Position] = {
+        i: (rng.uniform(0.0, width), rng.uniform(0.0, height))
+        for i in range(1, n_nodes + 1)
+    }
+    misbehaving = set(rng.sample(sorted(positions), n_misbehaving))
+    flows: List[FlowSpec] = []
+    for src in sorted(positions):
+        neighbors = [
+            other
+            for other in positions
+            if other != src
+            and distance(positions[src], positions[other]) <= neighbor_range_m
+        ]
+        if neighbors:
+            dst = rng.choice(sorted(neighbors))
+        else:
+            dst = min(
+                (other for other in positions if other != src),
+                key=lambda other: distance(positions[src], positions[other]),
+            )
+        flows.append(
+            FlowSpec(
+                src=src,
+                dst=dst,
+                rate_bps=None,
+                pm_percent=pm_percent if src in misbehaving else 0.0,
+            )
+        )
+    return Topology(positions=positions, flows=flows)

@@ -1,0 +1,36 @@
+"""Physical layer: 802.11 timing, shadowing propagation, shared medium."""
+
+from repro.phy.constants import (
+    CW_MAX,
+    CW_MIN,
+    DEFAULT_TIMINGS,
+    PhyTimings,
+    transmission_time_us,
+)
+from repro.phy.medium import CAPTURE_THRESHOLD_DB, Medium, MediumListener, Transmission
+from repro.phy.propagation import (
+    LinkProbabilities,
+    ShadowingModel,
+    distance,
+    normal_cdf,
+    normal_quantile,
+)
+from repro.phy.sensing import IdleSlotCounter
+
+__all__ = [
+    "CW_MAX",
+    "CW_MIN",
+    "DEFAULT_TIMINGS",
+    "PhyTimings",
+    "transmission_time_us",
+    "CAPTURE_THRESHOLD_DB",
+    "Medium",
+    "MediumListener",
+    "Transmission",
+    "LinkProbabilities",
+    "ShadowingModel",
+    "distance",
+    "normal_cdf",
+    "normal_quantile",
+    "IdleSlotCounter",
+]

@@ -1,0 +1,326 @@
+"""Shared wireless medium with shadowing-derived probabilistic links.
+
+The medium tracks every in-flight transmission and tells each
+registered listener (a MAC instance) how the channel looks *from its
+own position* — the whole point of the paper's evaluation is that the
+sender's and receiver's channel views diverge.
+
+For a listener L and a transmission from S, the link is classified by
+its carrier-sense probability (:meth:`LinkProbabilities.classify`):
+
+* ``strong``   — L deterministically senses the transmission.  The
+  medium raises ``on_channel_busy`` / ``on_channel_idle`` edges, which
+  freeze backoff timers and idle-slot counters.
+* ``marginal`` — L senses each *slot* of the transmission
+  independently with probability ``p``.  The medium only reports that
+  the marginal set changed; per-slot sampling is done lazily by the
+  consumers (geometric skips in the backoff timer, binomial counts in
+  the idle-slot counter) so no per-slot events exist.
+* ``negligible`` — ignored entirely.
+
+A node's own transmission is "strong" for itself, which both freezes
+its idle counter and models half-duplex deafness.
+
+Frame delivery happens at transmission end: the frame is decoded by L
+when (a) the shadowing draw clears the reception threshold, (b) L was
+not transmitting during any overlap, and (c) the frame *captures* over
+every overlapping transmission — survival against interferer I is a
+Bernoulli with probability ``Phi((gain_S - gain_I - capture_db) /
+(sigma*sqrt(2)))``, the probability that the power ratio of two
+shadowed signals exceeds the capture threshold.  ns-2 (the paper's
+substrate) uses the same 10 dB capture rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.phy.constants import PhyTimings
+from repro.phy.propagation import LinkProbabilities, ShadowingModel, distance, normal_cdf
+
+#: Capture threshold (dB): a frame survives interference when its
+#: received power exceeds the interferer's by at least this much.
+CAPTURE_THRESHOLD_DB = 10.0
+
+
+class MediumListener(Protocol):
+    """Interface a MAC must implement to attach to the medium."""
+
+    node_id: int
+
+    def on_channel_busy(self) -> None:
+        """A strongly-sensed transmission began (count 0 -> 1)."""
+
+    def on_channel_idle(self) -> None:
+        """The last strongly-sensed transmission ended (count 1 -> 0)."""
+
+    def on_marginal_change(self) -> None:
+        """The set of marginally-sensed transmissions changed."""
+
+    def on_frame(self, frame: object) -> None:
+        """A frame was successfully decoded (any destination)."""
+
+    def on_frame_corrupted(self) -> None:
+        """A sensed frame failed to decode (triggers EIFS deference)."""
+
+
+@dataclass
+class Transmission:
+    """One in-flight (or completed) frame on the air."""
+
+    src: int
+    frame: object
+    start: int
+    end: int
+    #: Transmissions whose airtime overlapped this one at any point.
+    overlaps: List["Transmission"] = field(default_factory=list)
+    #: Per-listener sensing class, frozen at transmission start so
+    #: that busy-count bookkeeping stays balanced even if node
+    #: positions change mid-flight (mobility support).
+    listener_class: Dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class _ListenerState:
+    """Per-listener channel bookkeeping."""
+
+    listener: MediumListener
+    position: Tuple[float, float]
+    strong_count: int = 0
+    #: Active marginally-sensed transmissions: id(tx) -> p_sense.
+    marginal: Dict[int, float] = field(default_factory=dict)
+
+
+class Medium:
+    """The shared channel; see module docstring for the model.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel (supplies the clock and scheduling).
+    model:
+        Shadowing propagation model (paper calibration by default).
+    rng:
+        Random stream for shadowing draws (reception, capture and the
+        consumers' per-slot sensing all derive from this registry's
+        streams).
+    timings:
+        PHY timing bundle (for airtime computation by callers).
+    """
+
+    def __init__(self, sim, model: Optional[ShadowingModel] = None,
+                 rng=None, timings: Optional[PhyTimings] = None):
+        self.sim = sim
+        self.model = model if model is not None else ShadowingModel()
+        self.timings = timings if timings is not None else PhyTimings()
+        if rng is None:
+            raise ValueError("Medium requires a random stream (rng)")
+        self.rng = rng
+        self._states: Dict[int, _ListenerState] = {}
+        self._links: Dict[Tuple[int, int], LinkProbabilities] = {}
+        self._active: List[Transmission] = []
+        #: Optional structured event log (repro.sim.trace.TraceLog);
+        #: None disables tracing entirely.
+        self.trace = None
+        #: Lifetime counters (observability / tests).
+        self.transmissions_started = 0
+        self.frames_decoded = 0
+        self.frames_corrupted = 0
+
+    # ------------------------------------------------------------------
+    # Registration and link geometry
+    # ------------------------------------------------------------------
+    def register(self, listener: MediumListener, position: Tuple[float, float]) -> None:
+        """Attach a listener at a fixed position."""
+        if listener.node_id in self._states:
+            raise ValueError(f"node {listener.node_id} already registered")
+        self._states[listener.node_id] = _ListenerState(listener, position)
+
+    def link(self, src: int, dst: int) -> LinkProbabilities:
+        """Cached link probabilities between two registered nodes."""
+        key = (src, dst)
+        cached = self._links.get(key)
+        if cached is None:
+            if src == dst:
+                cached = LinkProbabilities(distance_m=0.0, receive=1.0, sense=1.0)
+            else:
+                d = distance(self._states[src].position, self._states[dst].position)
+                cached = self.model.link(max(d, 1e-6))
+            self._links[key] = cached
+        return cached
+
+    def position_of(self, node_id: int) -> Tuple[float, float]:
+        """Registered position of a node."""
+        return self._states[node_id].position
+
+    def update_position(self, node_id: int, position: Tuple[float, float]) -> None:
+        """Move a node (mobility support).
+
+        Link probabilities involving the node are recomputed for
+        subsequent transmissions; transmissions already on the air
+        keep the sensing classification frozen at their start (their
+        busy-count bookkeeping must stay balanced), which at mobility
+        speeds (< a few m per frame) is exact to well under a meter.
+        """
+        state = self._states.get(node_id)
+        if state is None:
+            raise KeyError(f"node {node_id} is not registered")
+        state.position = position
+        stale = [key for key in self._links if node_id in key]
+        for key in stale:
+            del self._links[key]
+
+    # ------------------------------------------------------------------
+    # Channel-view queries (used by backoff timers / idle counters)
+    # ------------------------------------------------------------------
+    def strong_busy(self, node_id: int) -> bool:
+        """Whether the node currently senses a strong transmission."""
+        return self._states[node_id].strong_count > 0
+
+    def marginal_busy_probability(self, node_id: int) -> float:
+        """Per-slot busy probability from marginally-sensed transmissions.
+
+        With independent shadowing per transmission per slot, the slot
+        is busy unless *every* marginal transmission goes unsensed:
+        ``1 - prod(1 - p_i)``.
+        """
+        product = 1.0
+        for p in self._states[node_id].marginal.values():
+            product *= 1.0 - p
+        return 1.0 - product
+
+    # ------------------------------------------------------------------
+    # Transmission lifecycle
+    # ------------------------------------------------------------------
+    def start_transmission(self, src: int, frame, airtime_us: int) -> Transmission:
+        """Put a frame on the air; returns its transmission record."""
+        if airtime_us <= 0:
+            raise ValueError("airtime must be positive")
+        now = self.sim.now
+        tx = Transmission(src=src, frame=frame, start=now, end=now + airtime_us)
+        for active in self._active:
+            active.overlaps.append(tx)
+            tx.overlaps.append(active)
+        self._active.append(tx)
+        self.transmissions_started += 1
+        if self.trace is not None:
+            kind = getattr(getattr(frame, "kind", None), "value", "?")
+            self.trace.record(
+                now, "tx_start", src,
+                frame_kind=kind,
+                dst=getattr(frame, "dst", None),
+                end=tx.end,
+                duration_us=getattr(frame, "duration_us", 0),
+            )
+        self._notify_start(tx)
+        self.sim.schedule(airtime_us, lambda: self._finish_transmission(tx))
+        return tx
+
+    def _notify_start(self, tx: Transmission) -> None:
+        for node_id, state in self._states.items():
+            if node_id == tx.src:
+                cls = "strong"
+            else:
+                cls = self.link(tx.src, node_id).classify()
+            tx.listener_class[node_id] = cls
+            if cls == "strong":
+                state.strong_count += 1
+                if state.strong_count == 1:
+                    state.listener.on_channel_busy()
+            elif cls == "marginal":
+                state.marginal[id(tx)] = self.link(tx.src, node_id).sense
+                state.listener.on_marginal_change()
+
+    def _finish_transmission(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+        # Deliver before raising idle edges: decode outcomes (and the
+        # EIFS decision they imply) are known at frame end, and the
+        # MAC's deference logic needs them when the channel goes idle.
+        self._deliver(tx)
+        for node_id, state in self._states.items():
+            cls = tx.listener_class.get(node_id, "negligible")
+            if cls == "strong":
+                state.strong_count -= 1
+                if state.strong_count == 0:
+                    state.listener.on_channel_idle()
+            elif cls == "marginal":
+                state.marginal.pop(id(tx), None)
+                state.listener.on_marginal_change()
+
+    # ------------------------------------------------------------------
+    # Reception
+    # ------------------------------------------------------------------
+    def _deliver(self, tx: Transmission) -> None:
+        for node_id, state in self._states.items():
+            if node_id == tx.src:
+                continue
+            link = self.link(tx.src, node_id)
+            eps = LinkProbabilities.EPS
+            if link.receive <= eps and link.sense <= eps:
+                continue
+            # Half-duplex: a node transmitting during any overlap (or
+            # being the source of an overlapping frame) hears nothing.
+            if any(o.src == node_id for o in tx.overlaps):
+                continue
+            decoded = self._attempt_decode(tx, node_id, link)
+            if decoded:
+                self.frames_decoded += 1
+                if self.trace is not None:
+                    kind = getattr(getattr(tx.frame, "kind", None), "value", "?")
+                    self.trace.record(
+                        self.sim.now, "decode", node_id,
+                        src=tx.src,
+                        frame_kind=kind,
+                        dst=getattr(tx.frame, "dst", None),
+                        duration_us=getattr(tx.frame, "duration_us", 0),
+                    )
+                state.listener.on_frame(tx.frame)
+            else:
+                sensed = link.sense > 1.0 - eps or self.rng.random() < link.sense
+                if sensed:
+                    self.frames_corrupted += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            self.sim.now, "corrupt", node_id, src=tx.src
+                        )
+                    state.listener.on_frame_corrupted()
+
+    def _attempt_decode(self, tx: Transmission, node_id: int,
+                        link: LinkProbabilities) -> bool:
+        if link.receive < 1.0 - LinkProbabilities.EPS:
+            if self.rng.random() >= link.receive:
+                return False
+        for interferer in tx.overlaps:
+            if interferer.src == tx.src:
+                continue
+            if self.rng.random() >= self._capture_probability(
+                tx.src, interferer.src, node_id
+            ):
+                return False
+        return True
+
+    def _capture_probability(self, src: int, interferer: int, at: int) -> float:
+        """P(src's signal exceeds interferer's by the capture margin at node).
+
+        Both signals carry independent shadowing, so their dB
+        difference is Gaussian with std ``sigma*sqrt(2)`` around the
+        difference of mean path gains.
+        """
+        d_src = max(distance(self._states[src].position, self._states[at].position), 1e-6)
+        d_int = max(distance(self._states[interferer].position, self._states[at].position), 1e-6)
+        mean_margin = (
+            self.model.mean_path_gain_db(d_src)
+            - self.model.mean_path_gain_db(d_int)
+            - CAPTURE_THRESHOLD_DB
+        )
+        sigma = self.model.sigma_db * math.sqrt(2.0)
+        if sigma == 0.0:
+            return 1.0 if mean_margin >= 0.0 else 0.0
+        return normal_cdf(mean_margin / sigma)
+
+    @property
+    def active_transmissions(self) -> int:
+        """Number of frames currently on the air."""
+        return len(self._active)

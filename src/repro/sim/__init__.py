@@ -1,0 +1,16 @@
+"""Discrete-event simulation kernel (scheduler + seeded RNG streams)."""
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+from repro.sim.rng import RngRegistry, binomial, geometric_skip
+from repro.sim.trace import TraceEvent, TraceLog
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "RngRegistry",
+    "binomial",
+    "geometric_skip",
+    "TraceEvent",
+    "TraceLog",
+]

@@ -1,0 +1,74 @@
+"""Structured event tracing.
+
+A :class:`TraceLog` is an append-only record of timestamped events.
+The medium records every transmission, decode and corruption into an
+attached log (see :attr:`repro.phy.medium.Medium.trace`); the
+conformance checker (:mod:`repro.validation`) replays the log against
+IEEE 802.11 sequencing rules, and tests use it to assert exact
+protocol behaviour without poking at internals.
+
+Tracing is off by default and adds no overhead when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (microseconds).
+    kind:
+        Event type, e.g. ``"tx_start"``, ``"tx_end"``, ``"decode"``,
+        ``"corrupt"``.
+    node:
+        The node the event concerns (transmitter for tx events,
+        listener for reception events).
+    data:
+        Free-form event payload (frame kind, peer, duration, ...).
+    """
+
+    time: int
+    kind: str
+    node: int
+    data: Dict[str, object] = field(default_factory=dict)
+
+
+class TraceLog:
+    """Append-only, queryable event log."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: int, kind: str, node: int, **data: object) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(time=time, kind=kind, node=node,
+                                      data=dict(data)))
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        node: Optional[int] = None,
+    ) -> Iterator[TraceEvent]:
+        """Iterate events matching the given criteria, in time order."""
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if node is not None and event.node != node:
+                continue
+            yield event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceLog({len(self.events)} events)"

@@ -1,0 +1,9 @@
+"""Protocol-conformance validation over recorded traces."""
+
+from repro.validation.checker import (
+    ConformanceReport,
+    ProtocolChecker,
+    Violation,
+)
+
+__all__ = ["ConformanceReport", "ProtocolChecker", "Violation"]

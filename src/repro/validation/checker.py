@@ -1,0 +1,175 @@
+"""IEEE 802.11 protocol-conformance checking over a trace.
+
+Given a :class:`~repro.sim.trace.TraceLog` recorded by the medium, the
+checker verifies sequencing rules that any correct DCF implementation
+must obey, and reports violations.  Running a full scenario with
+tracing and asserting zero violations is a strong end-to-end test of
+the MAC — it validates ordering properties the unit tests cannot see.
+
+Checked rules
+-------------
+half-duplex
+    A node never has two transmissions on the air simultaneously.
+cts-follows-rts
+    Every CTS from X to Y starts exactly SIFS after X finished
+    decoding an RTS from Y.
+ack-follows-data
+    Every ACK from X to Y starts exactly SIFS after X finished
+    decoding a DATA frame from Y.
+data-follows-cts
+    Every DATA from X to Y starts exactly SIFS after X decoded a CTS
+    from Y (first DATA of the exchange; retransmitted exchanges
+    restart from RTS).
+nav-respected
+    A node that *decoded* a frame not addressed to it, carrying a NAV
+    duration D, does not start a transmission strictly inside
+    ``(decode_time, decode_time + D)``.
+min-turnaround
+    Consecutive transmissions of one node are separated by at least
+    SIFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.phy.constants import PhyTimings
+from repro.sim.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance violation."""
+
+    rule: str
+    time: int
+    node: int
+    detail: str
+
+
+@dataclass
+class ConformanceReport:
+    """Checker output: violations plus what was checked."""
+
+    violations: List[Violation] = field(default_factory=list)
+    transmissions: int = 0
+    responses_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+
+class ProtocolChecker:
+    """Replays a medium trace against the DCF sequencing rules."""
+
+    def __init__(self, timings: Optional[PhyTimings] = None):
+        self.timings = timings if timings is not None else PhyTimings()
+
+    def check(self, trace: TraceLog) -> ConformanceReport:
+        report = ConformanceReport()
+        tx_events = [e for e in trace if e.kind == "tx_start"]
+        decode_events = [e for e in trace if e.kind == "decode"]
+        report.transmissions = len(tx_events)
+        self._check_half_duplex(tx_events, report)
+        self._check_turnaround(tx_events, report)
+        self._check_responses(tx_events, decode_events, report)
+        self._check_nav(tx_events, decode_events, report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _check_half_duplex(self, tx_events, report) -> None:
+        last_end: Dict[int, int] = {}
+        for event in tx_events:
+            end = int(event.data["end"])
+            prev = last_end.get(event.node)
+            if prev is not None and event.time < prev:
+                report.violations.append(Violation(
+                    "half-duplex", event.time, event.node,
+                    f"tx starts at {event.time} before own tx ends at {prev}",
+                ))
+            last_end[event.node] = max(end, last_end.get(event.node, 0))
+
+    def _check_turnaround(self, tx_events, report) -> None:
+        sifs = self.timings.sifs_us
+        last_end: Dict[int, int] = {}
+        for event in tx_events:
+            prev = last_end.get(event.node)
+            if prev is not None and 0 <= event.time - prev < sifs:
+                report.violations.append(Violation(
+                    "min-turnaround", event.time, event.node,
+                    f"gap {event.time - prev} us < SIFS",
+                ))
+            last_end[event.node] = int(event.data["end"])
+
+    def _check_responses(self, tx_events, decode_events, report) -> None:
+        sifs = self.timings.sifs_us
+        triggers = {"cts": "rts", "ack": "data", "data": "cts"}
+        # Basic access (no RTS/CTS anywhere in the trace): DATA frames
+        # legitimately follow backoff instead of a CTS.
+        kinds_on_air = {str(e.data["frame_kind"]) for e in tx_events}
+        if "rts" not in kinds_on_air and "cts" not in kinds_on_air:
+            triggers.pop("data")
+        # Index decodes by (listener, frame_kind, time).
+        decoded: Dict[Tuple[int, str], List[dict]] = {}
+        for event in decode_events:
+            key = (event.node, str(event.data["frame_kind"]))
+            decoded.setdefault(key, []).append(
+                {"time": event.time, "src": event.data["src"],
+                 "dst": event.data["dst"]}
+            )
+        for event in tx_events:
+            kind = str(event.data["frame_kind"])
+            trigger_kind = triggers.get(kind)
+            if trigger_kind is None:
+                continue
+            peer = event.data["dst"]
+            expected_decode_time = event.time - sifs
+            candidates = decoded.get((event.node, trigger_kind), [])
+            match = any(
+                c["time"] == expected_decode_time and c["src"] == peer
+                and c["dst"] == event.node
+                for c in candidates
+            )
+            if kind == "data":
+                # Only the SIFS-scheduled DATA (right after CTS) is a
+                # response; a DATA after backoff would be nonstandard
+                # here because this MAC always uses RTS/CTS, so any
+                # DATA must follow a CTS.
+                pass
+            report.responses_checked += 1
+            if not match:
+                report.violations.append(Violation(
+                    f"{kind}-follows-{trigger_kind}", event.time, event.node,
+                    f"{kind} to {peer} lacks a {trigger_kind} decoded at "
+                    f"t={expected_decode_time}",
+                ))
+
+    def _check_nav(self, tx_events, decode_events, report) -> None:
+        # For each node, NAV intervals implied by decoded frames not
+        # addressed to it.
+        nav_intervals: Dict[int, List[Tuple[int, int]]] = {}
+        for event in decode_events:
+            if event.data["dst"] == event.node:
+                continue
+            duration = int(event.data.get("duration_us", 0) or 0)
+            if duration <= 0:
+                continue
+            nav_intervals.setdefault(event.node, []).append(
+                (event.time, event.time + duration)
+            )
+        for event in tx_events:
+            for start, end in nav_intervals.get(event.node, ()):  # noqa: B020
+                if start < event.time < end:
+                    report.violations.append(Violation(
+                        "nav-respected", event.time, event.node,
+                        f"tx inside NAV window ({start}, {end})",
+                    ))
+                    break

@@ -1,0 +1,78 @@
+"""Tests for the adaptive THRESH estimator (future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.core.adaptive import AdaptiveThreshold
+
+
+class TestAdaptiveThreshold:
+    def test_uninitialised_falls_back_to_paper_value(self):
+        adaptive = AdaptiveThreshold()
+        assert adaptive.current_thresh() == 20.0
+
+    def test_clean_channel_lowers_threshold(self):
+        """Near-zero honest noise should allow a tight threshold."""
+        adaptive = AdaptiveThreshold(min_thresh=4.0)
+        rng = random.Random(1)
+        for _ in range(500):
+            adaptive.update(rng.gauss(0.0, 0.5))
+        assert adaptive.current_thresh() < 20.0
+
+    def test_noisy_channel_raises_threshold(self):
+        """TWO-FLOW-like noise should push the threshold up."""
+        adaptive = AdaptiveThreshold(max_thresh=200.0)
+        rng = random.Random(2)
+        for _ in range(500):
+            adaptive.update(rng.gauss(5.0, 15.0))
+        assert adaptive.current_thresh() > 20.0
+
+    def test_threshold_clamped(self):
+        adaptive = AdaptiveThreshold(min_thresh=10.0, max_thresh=30.0)
+        rng = random.Random(3)
+        for _ in range(200):
+            adaptive.update(rng.gauss(100.0, 50.0))
+        assert adaptive.current_thresh() == 30.0
+        calm = AdaptiveThreshold(min_thresh=10.0, max_thresh=30.0)
+        for _ in range(200):
+            calm.update(0.0)
+        assert calm.current_thresh() == 10.0
+
+    def test_tracks_mean_and_std(self):
+        adaptive = AdaptiveThreshold(ewma_alpha=0.1)
+        rng = random.Random(4)
+        for _ in range(3000):
+            adaptive.update(rng.gauss(3.0, 2.0))
+        assert adaptive.mean == pytest.approx(3.0, abs=1.0)
+        assert adaptive.std == pytest.approx(2.0, abs=1.0)
+
+    def test_sample_counter(self):
+        adaptive = AdaptiveThreshold()
+        for _ in range(5):
+            adaptive.update(1.0)
+        assert adaptive.samples == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"target_false_rate": 0.0},
+            {"target_false_rate": 0.6},
+            {"ewma_alpha": 0.0},
+            {"min_thresh": 50.0, "max_thresh": 10.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaptiveThreshold(**kwargs)
+
+    def test_higher_confidence_gives_higher_threshold(self):
+        strict = AdaptiveThreshold(target_false_rate=0.001, max_thresh=1000.0)
+        lax = AdaptiveThreshold(target_false_rate=0.1, max_thresh=1000.0)
+        rng = random.Random(5)
+        samples = [rng.gauss(0.0, 5.0) for _ in range(500)]
+        for s in samples:
+            strict.update(s)
+            lax.update(s)
+        assert strict.current_thresh() > lax.current_thresh()

@@ -1,0 +1,96 @@
+"""Tests for the intentional-RTS-drop attempt-number audit."""
+
+import random
+
+import pytest
+
+from repro.core.attempt_verify import AttemptAuditor
+
+
+def make_auditor(drop_probability=1.0, suspicion_threshold=0):
+    return AttemptAuditor(
+        random.Random(1),
+        drop_probability=drop_probability,
+        suspicion_threshold=suspicion_threshold,
+    )
+
+
+class TestDropDecision:
+    def test_no_drops_before_suspicion_threshold(self):
+        auditor = make_auditor(drop_probability=1.0, suspicion_threshold=5)
+        for _ in range(4):
+            assert not auditor.should_drop(7, attempt=1)
+        assert auditor.should_drop(7, attempt=1)
+
+    def test_zero_probability_never_drops(self):
+        auditor = make_auditor(drop_probability=0.0)
+        assert not any(auditor.should_drop(7, 1) for _ in range(100))
+
+    def test_no_stacked_audits(self):
+        auditor = make_auditor()
+        assert auditor.should_drop(7, attempt=2)
+        # While an audit is pending, never drop again.
+        assert not auditor.should_drop(7, attempt=3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AttemptAuditor(random.Random(1), drop_probability=2.0)
+        with pytest.raises(ValueError):
+            AttemptAuditor(random.Random(1), suspicion_threshold=-1)
+
+
+class TestVerdicts:
+    def test_honest_increment_passes(self):
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=2)
+        outcome = auditor.on_next_rts(7, attempt=3)
+        assert outcome is not None
+        assert not outcome.proof_of_misbehavior
+        assert not auditor.is_proven(7)
+
+    def test_failure_to_increment_is_proof(self):
+        """'Even a single failure ... is an immediate proof.'"""
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=2)
+        outcome = auditor.on_next_rts(7, attempt=2)
+        assert outcome.proof_of_misbehavior
+        assert auditor.is_proven(7)
+
+    def test_attempt_regression_is_proof(self):
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=3)
+        outcome = auditor.on_next_rts(7, attempt=1)
+        assert outcome.proof_of_misbehavior
+
+    def test_higher_than_expected_is_not_proof(self):
+        """Extra collisions between the drop and the retry are fine."""
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=2)
+        outcome = auditor.on_next_rts(7, attempt=5)
+        assert not outcome.proof_of_misbehavior
+
+    def test_no_pending_audit_returns_none(self):
+        auditor = make_auditor()
+        assert auditor.on_next_rts(7, attempt=1) is None
+
+    def test_retry_limit_reset_tolerated(self):
+        """A drop at the retry limit may legitimately reset to 1."""
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=7)
+        outcome = auditor.on_next_rts(7, attempt=1)
+        assert not outcome.proof_of_misbehavior
+
+    def test_audit_counters(self):
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=1)
+        auditor.on_next_rts(7, attempt=2)
+        assert auditor.drops_issued == 1
+        assert auditor.audits_completed == 1
+
+    def test_per_sender_isolation(self):
+        auditor = make_auditor()
+        auditor.should_drop(7, attempt=2)
+        # Sender 8's RTS does not resolve sender 7's audit.
+        assert auditor.on_next_rts(8, attempt=1) is None
+        outcome = auditor.on_next_rts(7, attempt=3)
+        assert outcome is not None

@@ -1,0 +1,170 @@
+"""Tests for the deterministic backoff functions f and g."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff_function import (
+    contention_window,
+    expected_backoff_sum,
+    f_fraction,
+    f_raw,
+    g_assignment,
+    retry_backoff,
+)
+from repro.phy.constants import CW_MAX, CW_MIN
+
+
+class TestContentionWindow:
+    def test_standard_schedule(self):
+        # 31, 63, 127, 255, 511, 1023, 1023, ...
+        assert contention_window(1) == 31
+        assert contention_window(2) == 63
+        assert contention_window(3) == 127
+        assert contention_window(6) == 1023
+        assert contention_window(7) == 1023
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            contention_window(0)
+
+    def test_huge_attempt_does_not_overflow(self):
+        assert contention_window(10_000) == CW_MAX
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_monotone_nondecreasing(self, attempt):
+        assert contention_window(attempt + 1) >= contention_window(attempt)
+
+
+class TestFRaw:
+    def test_paper_formula(self):
+        # f = (5*X + 2*attempt + 1) mod 32, X = (backoff + nodeId) mod 32
+        backoff, node_id, attempt = 10, 3, 2
+        x = (backoff + node_id) % 32
+        assert f_raw(backoff, node_id, attempt) == (5 * x + 2 * attempt + 1) % 32
+
+    @given(
+        st.integers(min_value=0, max_value=4000),
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=200)
+    def test_range(self, backoff, node_id, attempt):
+        assert 0 <= f_raw(backoff, node_id, attempt) <= CW_MIN
+
+    def test_deterministic(self):
+        assert f_raw(7, 4, 3) == f_raw(7, 4, 3)
+
+    def test_colliding_nodes_separate(self):
+        """Distinct nodeIds with the same backoff map to distinct values.
+
+        a=5 is coprime with 32, so x -> 5x + c is a bijection mod 32:
+        two colliding senders sharing a backoff value but different
+        (mod-32) identities always compute different retry backoffs.
+        """
+        backoff, attempt = 12, 2
+        outputs = {f_raw(backoff, node, attempt) for node in range(32)}
+        assert len(outputs) == 32
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            f_raw(-1, 0, 1)
+
+    def test_attempt_zero_rejected(self):
+        with pytest.raises(ValueError):
+            f_raw(0, 0, 0)
+
+
+class TestFraction:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_in_unit_interval(self, backoff, node_id, attempt):
+        assert 0.0 <= f_fraction(backoff, node_id, attempt) <= 32 / 31
+
+
+class TestRetryBackoff:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=2, max_value=8),
+    )
+    @settings(max_examples=100)
+    def test_bounded_by_window(self, backoff, node_id, attempt):
+        value = retry_backoff(backoff, node_id, attempt)
+        cw = contention_window(attempt)
+        # round(fraction * cw) with fraction <= 32/31 can exceed cw by
+        # at most cw/31; assert the practical bound.
+        assert 0 <= value <= cw + cw // 31 + 1
+
+    def test_receiver_can_reconstruct(self):
+        """Sender and receiver evaluate the identical function."""
+        sender_view = retry_backoff(17, 5, 3)
+        receiver_view = retry_backoff(17, 5, 3)
+        assert sender_view == receiver_view
+
+
+class TestExpectedBackoffSum:
+    def test_first_attempt_only_is_assigned(self):
+        assert expected_backoff_sum(21, 9, 1, 1) == 21
+
+    def test_paper_formula_from_ack(self):
+        """B_exp = backoff + sum_{i=2}^{attempt} f(...)*CW_i."""
+        assigned, node = 14, 6
+        expected = assigned + sum(
+            retry_backoff(assigned, node, i) for i in (2, 3)
+        )
+        assert expected_backoff_sum(assigned, node, 1, 3) == expected
+
+    def test_mid_exchange_reference_skips_consumed_stages(self):
+        """After a CTS for attempt 2, only stages >= 3 are observable."""
+        assigned, node = 14, 6
+        assert expected_backoff_sum(assigned, node, 3, 4) == (
+            retry_backoff(assigned, node, 3) + retry_backoff(assigned, node, 4)
+        )
+
+    def test_invalid_stage_ranges(self):
+        with pytest.raises(ValueError):
+            expected_backoff_sum(5, 1, 0, 1)
+        with pytest.raises(ValueError):
+            expected_backoff_sum(5, 1, 3, 2)
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=100)
+    def test_monotone_in_last_stage(self, assigned, node, last):
+        shorter = expected_backoff_sum(assigned, node, 1, last)
+        longer = expected_backoff_sum(assigned, node, 1, last + 1)
+        assert longer >= shorter
+
+
+class TestG:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=100_000),
+    )
+    @settings(max_examples=100)
+    def test_range(self, receiver, sender, counter):
+        assert 0 <= g_assignment(receiver, sender, counter) <= CW_MIN
+
+    def test_deterministic_and_shared(self):
+        assert g_assignment(1, 2, 3) == g_assignment(1, 2, 3)
+
+    def test_varies_with_counter(self):
+        values = {g_assignment(1, 2, c) for c in range(64)}
+        assert len(values) > 10  # spread over the range, not constant
+
+    def test_roughly_uniform(self):
+        counts = [0] * (CW_MIN + 1)
+        n = 8000
+        for c in range(n):
+            counts[g_assignment(9, 4, c)] += 1
+        expected = n / (CW_MIN + 1)
+        assert all(0.5 * expected < k < 1.5 * expected for k in counts)

@@ -1,0 +1,191 @@
+"""Tests for the backoff countdown engine."""
+
+import random
+
+import pytest
+
+from repro.mac.backoff_timer import BackoffTimer
+from repro.sim.engine import Simulator
+
+SLOT = 20
+DIFS = 50
+EIFS = 308
+
+
+class Harness:
+    """A timer with controllable channel inputs."""
+
+    def __init__(self, p_busy=0.0, ifs=DIFS, seed=1):
+        self.sim = Simulator()
+        self.p_busy = p_busy
+        self.ifs = ifs
+        self.expired_at = []
+        self.timer = BackoffTimer(
+            self.sim, SLOT, random.Random(seed),
+            marginal_probability=lambda: self.p_busy,
+            ifs_provider=lambda: self.ifs,
+            on_expire=lambda: self.expired_at.append(self.sim.now),
+        )
+
+
+class TestCleanCountdown:
+    def test_zero_slots_expires_after_ifs(self):
+        h = Harness()
+        h.timer.start(0)
+        h.sim.run()
+        assert h.expired_at == [DIFS]
+
+    def test_n_slots_expire_after_ifs_plus_slots(self):
+        h = Harness()
+        h.timer.start(7)
+        h.sim.run()
+        assert h.expired_at == [DIFS + 7 * SLOT]
+
+    def test_negative_slots_rejected(self):
+        h = Harness()
+        with pytest.raises(ValueError):
+            h.timer.start(-1)
+
+    def test_double_start_rejected(self):
+        h = Harness()
+        h.timer.start(5)
+        with pytest.raises(RuntimeError):
+            h.timer.start(5)
+
+    def test_cancel_prevents_expiry(self):
+        h = Harness()
+        h.timer.start(5)
+        h.timer.cancel()
+        h.sim.run()
+        assert h.expired_at == []
+
+    def test_restart_after_expiry(self):
+        h = Harness()
+        h.timer.start(2)
+        h.sim.run()
+        h.timer.start(3)
+        h.sim.run()
+        assert len(h.expired_at) == 2
+
+    def test_slots_counted_accumulates(self):
+        h = Harness()
+        h.timer.start(6)
+        h.sim.run()
+        assert h.timer.slots_counted == 6
+
+
+class TestFreezeResume:
+    def test_block_during_ifs_restarts_ifs(self):
+        h = Harness()
+        h.timer.start(3)
+        h.sim.schedule(30, lambda: h.timer.set_blocked(True))
+        h.sim.schedule(100, lambda: h.timer.set_blocked(False))
+        h.sim.run()
+        # Resumes at 100, waits full DIFS again, then 3 slots.
+        assert h.expired_at == [100 + DIFS + 3 * SLOT]
+
+    def test_partial_slot_progress_discarded(self):
+        h = Harness()
+        h.timer.start(3)
+        # Block mid-second-slot: 1 whole slot credited, partial lost.
+        t_block = DIFS + SLOT + 10
+        h.sim.schedule(t_block, lambda: h.timer.set_blocked(True))
+        h.sim.schedule(500, lambda: h.timer.set_blocked(False))
+        h.sim.run()
+        assert h.expired_at == [500 + DIFS + 2 * SLOT]
+
+    def test_block_exactly_on_slot_boundary(self):
+        h = Harness()
+        h.timer.start(3)
+        t_block = DIFS + 2 * SLOT  # two slots fully elapsed
+        h.sim.schedule(t_block, lambda: h.timer.set_blocked(True))
+        h.sim.schedule(600, lambda: h.timer.set_blocked(False))
+        h.sim.run()
+        assert h.expired_at == [600 + DIFS + 1 * SLOT]
+
+    def test_start_while_blocked_waits_for_unblock(self):
+        h = Harness()
+        h.timer.set_blocked(True)
+        h.timer.start(2)
+        h.sim.schedule(400, lambda: h.timer.set_blocked(False))
+        h.sim.run()
+        assert h.expired_at == [400 + DIFS + 2 * SLOT]
+
+    def test_idempotent_blocked_updates(self):
+        h = Harness()
+        h.timer.start(2)
+        h.timer.set_blocked(False)  # no-op
+        h.sim.run()
+        assert h.expired_at == [DIFS + 2 * SLOT]
+
+    def test_expiry_committed_on_same_timestamp_block(self):
+        """A countdown completing exactly when the channel goes busy
+        still transmits — this preserves genuine collision races."""
+        h = Harness()
+        h.timer.start(2)
+        t_done = DIFS + 2 * SLOT
+        h.sim.schedule(t_done, lambda: h.timer.set_blocked(True))
+        h.sim.run()
+        assert h.expired_at == [t_done]
+
+
+class TestEifs:
+    def test_ifs_provider_consulted_each_defer(self):
+        h = Harness()
+        ifs_values = [EIFS, DIFS]
+        h.ifs = None
+        h.timer.ifs_provider = lambda: ifs_values.pop(0)
+        h.timer.start(1)
+        h.sim.run()
+        assert h.expired_at == [EIFS + SLOT]
+
+
+class TestMarginalSampling:
+    def test_all_busy_slots_block_forever(self):
+        h = Harness(p_busy=1.0)
+        h.timer.start(1)
+        h.sim.run(until=100_000)
+        assert h.expired_at == []
+
+    def test_expiry_time_stochastically_longer(self):
+        clean = Harness(p_busy=0.0)
+        clean.timer.start(30)
+        clean.sim.run()
+        noisy_times = []
+        for seed in range(10):
+            h = Harness(p_busy=0.6, seed=seed)
+            h.timer.start(30)
+            h.sim.run(until=10_000_000)
+            noisy_times.append(h.expired_at[0])
+        assert all(t >= clean.expired_at[0] for t in noisy_times)
+        assert sum(noisy_times) / len(noisy_times) > clean.expired_at[0] * 1.5
+
+    def test_marginal_change_resegments(self):
+        h = Harness(p_busy=0.0)
+        h.timer.start(10)
+
+        def go_marginal():
+            h.p_busy = 1.0
+            h.timer.marginal_changed()
+
+        def go_clean():
+            h.p_busy = 0.0
+            h.timer.marginal_changed()
+
+        h.sim.schedule(DIFS + 2 * SLOT, go_marginal)
+        h.sim.schedule(DIFS + 2 * SLOT + 1000, go_clean)
+        h.sim.run()
+        # 2 slots before the marginal stall, 8 after it clears.
+        assert h.expired_at == [DIFS + 2 * SLOT + 1000 + 8 * SLOT]
+
+    def test_mean_countdown_matches_inverse_idle_probability(self):
+        p = 0.5
+        times = []
+        for seed in range(20):
+            h = Harness(p_busy=p, seed=seed)
+            h.timer.start(40)
+            h.sim.run(until=10_000_000)
+            times.append(h.expired_at[0] - DIFS)
+        mean_slots = sum(times) / len(times) / SLOT
+        # Each decrement takes 1/(1-p) = 2 slots on average.
+        assert 40 * 1.7 < mean_slots < 40 * 2.4

@@ -1,0 +1,109 @@
+"""Property test: BackoffTimer against a step-by-step reference model.
+
+The timer implements countdown with blocked-freeze, IFS deference and
+slot-boundary semantics using *events* (completion scheduling,
+geometric skips).  This test drives it with hypothesis-generated
+block/unblock schedules and checks the expiry time against a dumb
+slot-by-slot reference simulation of the same rules:
+
+* while blocked, nothing happens;
+* after every blocked->free transition (and at start), wait IFS of
+  uninterrupted free time before counting;
+* each subsequent free slot decrements the counter; partial slots cut
+  short by a block are discarded;
+* when the counter hits zero the timer expires at that slot boundary.
+
+Only the clean-channel path is modelled (marginal probability 0); the
+sampled path is statistical and covered elsewhere.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.backoff_timer import BackoffTimer
+from repro.sim.engine import Simulator
+
+SLOT = 20
+IFS = 50
+
+
+def reference_expiry(slots: int, busy_intervals, horizon: int) -> int | None:
+    """Slot-by-slot reference: returns expiry time or None."""
+
+    def blocked(t: int) -> bool:
+        return any(a <= t < b for a, b in busy_intervals)
+
+    remaining = slots
+    t = 0
+    while t <= horizon:
+        if blocked(t):
+            t += 1
+            continue
+        # Need IFS of free time.
+        ifs_end = t + IFS
+        if any(blocked(u) for u in range(t, min(ifs_end, horizon + 1))):
+            # advance to the next blocked moment + 1
+            t += 1
+            continue
+        t = ifs_end
+        if remaining == 0:
+            return t
+        # Count down whole free slots.
+        while remaining > 0:
+            slot_end = t + SLOT
+            interrupted = next(
+                (u for u in range(t, min(slot_end, horizon + 1))
+                 if blocked(u)), None,
+            )
+            if interrupted is not None:
+                t = interrupted
+                break
+            t = slot_end
+            remaining -= 1
+            if remaining == 0:
+                return t
+        else:
+            return t
+    return None
+
+
+@st.composite
+def schedules(draw):
+    slots = draw(st.integers(min_value=0, max_value=12))
+    n_busy = draw(st.integers(min_value=0, max_value=4))
+    intervals = []
+    cursor = draw(st.integers(min_value=1, max_value=150))
+    for _ in range(n_busy):
+        start = cursor
+        length = draw(st.integers(min_value=1, max_value=300))
+        intervals.append((start, start + length))
+        cursor = start + length + draw(st.integers(min_value=1, max_value=300))
+    return slots, intervals
+
+
+@given(schedules())
+@settings(max_examples=120, deadline=None)
+def test_timer_matches_reference(case):
+    slots, busy_intervals = case
+    horizon = 20_000
+    sim = Simulator()
+    expired = []
+    timer = BackoffTimer(
+        sim, SLOT, random.Random(0),
+        marginal_probability=lambda: 0.0,
+        ifs_provider=lambda: IFS,
+        on_expire=lambda: expired.append(sim.now),
+    )
+    for start, end in busy_intervals:
+        sim.schedule(start, lambda: timer.set_blocked(True))
+        sim.schedule(end, lambda: timer.set_blocked(False))
+    timer.start(slots)
+    sim.run(until=horizon)
+    expected = reference_expiry(slots, busy_intervals, horizon)
+    actual = expired[0] if expired else None
+    assert actual == expected, (
+        f"slots={slots} busy={busy_intervals}: "
+        f"timer={actual} reference={expected}"
+    )

@@ -1,0 +1,136 @@
+"""Tests for basic access (DATA/ACK, no RTS/CTS).
+
+The paper: "We assume RTS/CTS exchange is used before data
+transmission.  However, the proposed scheme can be applied even when
+RTS/CTS exchange is not used."  In basic access the attempt number
+travels in the DATA header and the assignment in the ACK.
+"""
+
+import pytest
+
+from repro.core.sender_policy import PartialCountdownPolicy
+from repro.experiments.scenarios import (
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+from repro.mac.frames import FrameKind
+from repro.net.topology import circle_topology
+from repro.sim.trace import TraceLog
+
+from tests.conftest import World
+
+
+def basic_world(mac_cls, n_senders=2, cheat_pm=None, seed=41, trace=False):
+    import math
+
+    w = World(seed=seed)
+    if trace:
+        w.medium.trace = TraceLog()
+    w.add_receiver(mac_cls, 0, (0.0, 0.0), use_rts_cts=False)
+    for i in range(1, n_senders + 1):
+        angle = 2 * math.pi * i / n_senders
+        kwargs = {"use_rts_cts": False}
+        if cheat_pm is not None and i == 1:
+            kwargs["policy"] = PartialCountdownPolicy(cheat_pm)
+        w.add_sender(
+            mac_cls, i,
+            (150.0 * math.cos(angle), 150.0 * math.sin(angle)),
+            dst=0, **kwargs,
+        )
+    return w
+
+
+class TestBasicAccessDcf:
+    def test_no_rts_cts_frames_on_air(self):
+        w = basic_world(DcfMac, trace=True)
+        w.run(500_000)
+        kinds = {e.data["frame_kind"] for e in w.medium.trace
+                 if e.kind == "tx_start"}
+        assert kinds == {"data", "ack"}
+
+    def test_delivers_packets(self):
+        w = basic_world(DcfMac)
+        w.run(1_000_000)
+        assert w.collector.flows[1].delivered_packets > 100
+
+    def test_higher_goodput_than_four_way(self):
+        """Without hidden terminals, skipping RTS/CTS saves overhead."""
+        basic = basic_world(DcfMac, n_senders=1, seed=43)
+        basic.run(1_000_000)
+        four_way = World(seed=43)
+        four_way.add_receiver(DcfMac, 0, (0.0, 0.0))
+        four_way.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        four_way.run(1_000_000)
+        assert (basic.collector.throughput_bps(1, 1_000_000)
+                > four_way.collector.throughput_bps(1, 1_000_000))
+
+    def test_contention_still_shares(self):
+        w = basic_world(DcfMac, n_senders=3)
+        w.run(2_000_000)
+        tps = [w.collector.throughput_bps(i, 2_000_000) for i in (1, 2, 3)]
+        assert all(t > 0 for t in tps)
+        assert max(tps) < 3 * min(tps)
+
+
+class TestBasicAccessCorrect:
+    def test_assignment_travels_in_ack(self):
+        w = basic_world(CorrectMac)
+        w.run(500_000)
+        sender = w.nodes[1].mac
+        receiver = w.nodes[0].mac
+        assert (sender._assignments.get(0)
+                == receiver.monitor_for(1).current_assignment)
+
+    def test_honest_sender_clean(self):
+        w = basic_world(CorrectMac)
+        w.run(2_000_000)
+        stats = w.collector.flows[1]
+        assert stats.delivered_packets > 200
+        assert stats.deviations <= stats.delivered_packets * 0.05
+        assert stats.diagnosed_packets == 0
+
+    def test_cheater_detected_and_restrained(self):
+        w = basic_world(CorrectMac, n_senders=3, cheat_pm=70.0, seed=44)
+        w.run(3_000_000)
+        stats = w.collector.flows[1]
+        assert stats.deviations > 0
+        assert stats.diagnosed_packets > stats.delivered_packets * 0.3
+        cheat = w.collector.throughput_bps(1, 3_000_000)
+        honest = (w.collector.throughput_bps(2, 3_000_000)
+                  + w.collector.throughput_bps(3, 3_000_000)) / 2
+        assert cheat < 1.5 * honest
+
+    def test_scenario_config_plumbs_flag(self):
+        topo = circle_topology(2, misbehaving=(1,), pm_percent=100.0)
+        result = run_scenario(ScenarioConfig(
+            topology=topo, protocol=PROTOCOL_CORRECT,
+            duration_us=800_000, seed=2, use_rts_cts=False,
+        ))
+        assert result.correct_diagnosis_percent > 50.0
+
+    def test_duplicate_data_reacked_without_window_update(self):
+        """Direct duplicate handling on the receiver."""
+        w = basic_world(CorrectMac)
+        w.run(300_000)
+        receiver = w.nodes[0].mac
+        monitor = receiver.monitor_for(1)
+        observed_before = monitor.packets_observed
+        resp = receiver._make_data_response(
+            _fake_data(src=1, seq=w.nodes[1].mac._seq), duplicate=True
+        )
+        assert resp is not None
+        assert resp.extra["duplicate"]
+        assert monitor.packets_observed == observed_before
+
+
+def _fake_data(src, seq):
+    from repro.mac.frames import Frame, data_size
+
+    return Frame(
+        kind=FrameKind.DATA, src=src, dst=0,
+        size_bytes=data_size(512), duration_us=258,
+        seq=seq, attempt=1, payload_bytes=512,
+    )

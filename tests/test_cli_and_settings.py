@@ -1,0 +1,80 @@
+"""Tests for the CLI entry point and evaluation-scale settings."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.settings import (
+    DEFAULT_SETTINGS,
+    PAPER_SETTINGS,
+    QUICK_SETTINGS,
+    active_settings,
+)
+
+
+class TestSettings:
+    def test_paper_scale_matches_paper(self):
+        assert PAPER_SETTINGS.duration_us == 50_000_000
+        assert len(PAPER_SETTINGS.seeds) == 30
+        assert PAPER_SETTINGS.pm_values[-1] == 100.0
+        assert PAPER_SETTINGS.network_sizes == (1, 2, 4, 8, 16, 32, 64)
+        assert PAPER_SETTINGS.random_topologies == 30
+        assert PAPER_SETTINGS.random_nodes == 40
+        assert PAPER_SETTINGS.random_misbehaving == 5
+        assert PAPER_SETTINGS.fig8_bin_us == 1_000_000
+
+    def test_scales_ordered(self):
+        assert (QUICK_SETTINGS.duration_us < DEFAULT_SETTINGS.duration_us
+                < PAPER_SETTINGS.duration_us)
+        assert len(QUICK_SETTINGS.seeds) <= len(DEFAULT_SETTINGS.seeds)
+
+    def test_active_settings_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        monkeypatch.delenv("REPRO_QUICK", raising=False)
+        assert active_settings() is DEFAULT_SETTINGS
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert active_settings() is PAPER_SETTINGS
+        monkeypatch.setenv("REPRO_QUICK", "1")  # quick wins over full
+        assert active_settings() is QUICK_SETTINGS
+
+    def test_duration_seconds_property(self):
+        assert PAPER_SETTINGS.duration_s == 50.0
+
+
+class TestCli:
+    def test_run_subcommand(self, capsys):
+        code = main([
+            "run", "--pm", "100", "--seconds", "0.5", "--senders", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MSB (cheater)" in out
+        assert "correct diagnosis" in out
+
+    def test_run_honest_omits_msb(self, capsys):
+        code = main(["run", "--seconds", "0.3", "--senders", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MSB" not in out
+        assert "fairness" in out
+
+    def test_run_80211(self, capsys):
+        code = main([
+            "run", "--protocol", "802.11", "--pm", "50",
+            "--seconds", "0.3", "--senders", "2",
+        ])
+        assert code == 0
+
+    def test_figures_unknown_id(self, capsys):
+        code = main(["figures", "figZZ"])
+        assert code == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_theory_subcommand(self, capsys):
+        code = main(["theory", "--sizes", "2", "--seconds", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bianchi" in out
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

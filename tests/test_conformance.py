@@ -1,0 +1,151 @@
+"""Trace-based protocol conformance: unit tests of the checker plus
+end-to-end validation that simulated scenarios obey DCF sequencing."""
+
+import pytest
+
+from repro.core.sender_policy import PartialCountdownPolicy
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+from repro.sim.trace import TraceLog
+from repro.validation.checker import ProtocolChecker
+
+from tests.conftest import World
+
+
+class TestTraceLog:
+    def test_record_and_filter(self):
+        log = TraceLog()
+        log.record(10, "tx_start", 1, frame_kind="rts")
+        log.record(20, "decode", 2, src=1)
+        log.record(30, "tx_start", 2, frame_kind="cts")
+        assert len(log) == 3
+        assert len(list(log.filter(kind="tx_start"))) == 2
+        assert len(list(log.filter(node=2))) == 2
+        assert len(list(log.filter(kind="decode", node=2))) == 1
+
+    def test_events_keep_insertion_order(self):
+        log = TraceLog()
+        for t in (5, 1, 9):
+            log.record(t, "x", 0)
+        assert [e.time for e in log] == [5, 1, 9]
+
+
+class TestCheckerUnit:
+    def test_half_duplex_violation_detected(self):
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(50, "tx_start", 1, frame_kind="data", dst=2, end=200,
+                   duration_us=0)
+        report = ProtocolChecker().check(log)
+        assert not report.ok
+        assert report.by_rule().get("half-duplex") == 1
+
+    def test_orphan_cts_detected(self):
+        log = TraceLog()
+        log.record(500, "tx_start", 2, frame_kind="cts", dst=1, end=700,
+                   duration_us=0)
+        report = ProtocolChecker().check(log)
+        assert report.by_rule().get("cts-follows-rts") == 1
+
+    def test_valid_exchange_passes(self):
+        sifs = 10
+        log = TraceLog()
+        # RTS 1->2 on air [0,100]; decoded at 2 at t=100.
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=500)
+        log.record(100, "decode", 2, src=1, frame_kind="rts", dst=2,
+                   duration_us=500)
+        # CTS 2->1 at 100+SIFS.
+        log.record(100 + sifs, "tx_start", 2, frame_kind="cts", dst=1,
+                   end=200, duration_us=300)
+        log.record(200, "decode", 1, src=2, frame_kind="cts", dst=1,
+                   duration_us=300)
+        log.record(200 + sifs, "tx_start", 1, frame_kind="data", dst=2,
+                   end=400, duration_us=100)
+        log.record(400, "decode", 2, src=1, frame_kind="data", dst=2,
+                   duration_us=100)
+        log.record(400 + sifs, "tx_start", 2, frame_kind="ack", dst=1,
+                   end=500, duration_us=0)
+        report = ProtocolChecker().check(log)
+        assert report.ok, report.violations
+
+    def test_nav_violation_detected(self):
+        log = TraceLog()
+        # Node 3 decodes a CTS not addressed to it with 1000us NAV...
+        log.record(100, "decode", 3, src=0, frame_kind="cts", dst=1,
+                   duration_us=1000)
+        # ...then transmits inside the window.
+        log.record(600, "tx_start", 3, frame_kind="rts", dst=0, end=900,
+                   duration_us=0)
+        report = ProtocolChecker().check(log)
+        assert report.by_rule().get("nav-respected") == 1
+
+    def test_turnaround_violation_detected(self):
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(105, "tx_start", 1, frame_kind="rts", dst=2, end=300,
+                   duration_us=0)
+        report = ProtocolChecker().check(log)
+        assert report.by_rule().get("min-turnaround") == 1
+
+
+def run_traced_world(mac_cls, n_senders, duration_us=800_000, cheat=None):
+    w = World(seed=21)
+    w.medium.trace = TraceLog()
+    w.add_receiver(mac_cls, 0, (0.0, 0.0))
+    import math
+
+    for i in range(1, n_senders + 1):
+        angle = 2 * math.pi * i / n_senders
+        policy = None
+        if cheat is not None and i == cheat:
+            policy = PartialCountdownPolicy(80.0)
+        kwargs = {"policy": policy} if policy else {}
+        w.add_sender(
+            mac_cls, i,
+            (150.0 * math.cos(angle), 150.0 * math.sin(angle)),
+            dst=0, **kwargs,
+        )
+    w.run(duration_us)
+    return w
+
+
+class TestEndToEndConformance:
+    @pytest.mark.parametrize("mac_cls", [DcfMac, CorrectMac])
+    def test_contending_cell_is_conformant(self, mac_cls):
+        w = run_traced_world(mac_cls, n_senders=4)
+        report = ProtocolChecker().check(w.medium.trace)
+        assert report.transmissions > 100
+        assert report.ok, report.by_rule()
+
+    def test_cheating_cell_still_sequencing_conformant(self):
+        """A backoff cheater violates fairness, not frame sequencing."""
+        w = run_traced_world(CorrectMac, n_senders=4, cheat=2)
+        report = ProtocolChecker().check(w.medium.trace)
+        assert report.ok, report.by_rule()
+
+    def test_tracing_does_not_change_results(self):
+        untraced = World(seed=22)
+        untraced.add_receiver(DcfMac, 0, (0.0, 0.0))
+        untraced.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        untraced.run(500_000)
+        traced = World(seed=22)
+        traced.medium.trace = TraceLog()
+        traced.add_receiver(DcfMac, 0, (0.0, 0.0))
+        traced.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        traced.run(500_000)
+        assert (untraced.collector.flows[1].delivered_packets
+                == traced.collector.flows[1].delivered_packets)
+
+
+class TestBasicAccessConformance:
+    def test_basic_access_cell_is_conformant(self):
+        from tests.test_basic_access import basic_world
+
+        w = basic_world(DcfMac, n_senders=3, trace=True)
+        w.run(800_000)
+        report = ProtocolChecker().check(w.medium.trace)
+        assert report.transmissions > 100
+        assert report.ok, report.by_rule()

@@ -1,0 +1,126 @@
+"""Tests for the correction (penalty) scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correction import compute_penalty, next_assignment
+from repro.core.params import ProtocolConfig
+
+
+def config(**kwargs) -> ProtocolConfig:
+    return ProtocolConfig(**kwargs)
+
+
+class TestComputePenalty:
+    def test_zero_deviation_zero_penalty(self):
+        assert compute_penalty(0.0, config()) == 0
+
+    def test_flat_additional_term(self):
+        cfg = config(extra_penalty_factor=0.0, extra_penalty_slots=20)
+        assert compute_penalty(4.0, cfg) == 24
+
+    def test_proportional_additional_term(self):
+        cfg = config(extra_penalty_factor=1.0, extra_penalty_slots=0)
+        assert compute_penalty(6.0, cfg) == 12
+
+    def test_combined_form(self):
+        cfg = config(extra_penalty_factor=0.25, extra_penalty_slots=20)
+        assert compute_penalty(8.0, cfg) == 30  # 8*1.25 + 20
+
+    def test_cap_applies(self):
+        cfg = config(penalty_cap_slots=50)
+        assert compute_penalty(1000.0, cfg) == 50
+
+    def test_cap_zero_disables(self):
+        cfg = config(penalty_cap_slots=0, extra_penalty_factor=0.0,
+                     extra_penalty_slots=0)
+        assert compute_penalty(10_000.0, cfg) == 10_000
+
+    def test_negative_deviation_rejected(self):
+        with pytest.raises(ValueError):
+            compute_penalty(-1.0, config())
+
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=100)
+    def test_monotone_in_deviation(self, d):
+        cfg = config()
+        assert compute_penalty(d + 1.0, cfg) >= compute_penalty(d, cfg)
+
+    @given(st.floats(min_value=0.001, max_value=1e6))
+    @settings(max_examples=100)
+    def test_penalty_at_least_deviation(self, d):
+        """The paper's P = D + additional: never less than D itself
+        (absent the lockout cap)."""
+        cfg = config(penalty_cap_slots=0)
+        assert compute_penalty(d, cfg) >= int(d)
+
+
+class TestNextAssignment:
+    def test_within_window_without_penalty(self):
+        rng = random.Random(1)
+        cfg = config()
+        for _ in range(200):
+            value = next_assignment(rng, cfg)
+            assert 0 <= value <= cfg.cw_min
+
+    def test_penalty_added_on_top(self):
+        rng = random.Random(2)
+        cfg = config()
+        value = next_assignment(rng, cfg, penalty=100)
+        assert value >= 100
+
+    def test_explicit_base_used(self):
+        rng = random.Random(3)
+        cfg = config()
+        assert next_assignment(rng, cfg, penalty=7, base=10) == 17
+
+    def test_base_out_of_range_rejected(self):
+        rng = random.Random(4)
+        with pytest.raises(ValueError):
+            next_assignment(rng, config(), base=99)
+
+    def test_negative_penalty_rejected(self):
+        rng = random.Random(5)
+        with pytest.raises(ValueError):
+            next_assignment(rng, config(), penalty=-1)
+
+    def test_uniformity_of_random_base(self):
+        rng = random.Random(6)
+        cfg = config()
+        n = 32_000
+        counts = [0] * (cfg.cw_min + 1)
+        for _ in range(n):
+            counts[next_assignment(rng, cfg)] += 1
+        expected = n / (cfg.cw_min + 1)
+        assert all(0.7 * expected < k < 1.3 * expected for k in counts)
+
+
+class TestConfigValidation:
+    def test_paper_defaults(self):
+        cfg = ProtocolConfig()
+        assert cfg.alpha == 0.9
+        assert cfg.window == 5
+        assert cfg.thresh == 20
+        assert cfg.cw_min == 31
+        assert cfg.cw_max == 1023
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"window": 0},
+            {"thresh": -1},
+            {"cw_min": 0},
+            {"cw_min": 64, "cw_max": 32},
+            {"extra_penalty_factor": -0.5},
+            {"extra_penalty_slots": -1},
+            {"penalty_cap_slots": -1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProtocolConfig(**kwargs)

@@ -1,0 +1,81 @@
+"""Tests for the MAC access-delay metrics.
+
+The paper frames selfish misbehavior as seeking "higher throughput or
+lower delay"; these tests check that the delay accounting works and
+that a backoff cheater indeed sees lower access delay under 802.11,
+while the CORRECT penalties take that advantage away.
+"""
+
+import pytest
+
+from repro.core.sender_policy import PartialCountdownPolicy
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+from repro.metrics.collector import MetricsCollector
+
+from tests.conftest import World
+
+
+class TestAccounting:
+    def test_mean_delay_computed(self):
+        c = MetricsCollector()
+        c.on_sender_success(1, 0, attempts=1, time=100, delay_us=3000)
+        c.on_sender_success(1, 0, attempts=3, time=200, delay_us=5000)
+        assert c.mean_delay_us(1) == pytest.approx(4000.0)
+        assert c.flows[1].mean_attempts == pytest.approx(2.0)
+
+    def test_unknown_sender_zero(self):
+        assert MetricsCollector().mean_delay_us(42) == 0.0
+
+    def test_no_acks_zero(self):
+        c = MetricsCollector()
+        c.on_sender_drop(1, 0, 100)
+        assert c.mean_delay_us(1) == 0.0
+        assert c.flows[1].mean_attempts == 0.0
+
+
+class TestDelayInSimulation:
+    def test_delays_are_plausible(self):
+        """A lone saturated sender's delay ~= one exchange cycle."""
+        w = World()
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        w.run(1_000_000)
+        delay = w.collector.mean_delay_us(1)
+        # DIFS + ~CWmin/2 backoff + four-way exchange: 3-4 ms.
+        assert 2_500 < delay < 6_000
+
+    def test_cheater_gets_lower_delay_under_80211(self):
+        w = World(seed=3)
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        w.add_sender(DcfMac, 2, (-150.0, 0.0), dst=0,
+                     policy=PartialCountdownPolicy(80.0))
+        w.run(3_000_000)
+        assert w.collector.mean_delay_us(2) < w.collector.mean_delay_us(1)
+
+    def test_correct_removes_delay_advantage(self):
+        w = World(seed=3)
+        w.add_receiver(CorrectMac, 0, (0.0, 0.0))
+        w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0)
+        w.add_sender(CorrectMac, 2, (-150.0, 0.0), dst=0,
+                     policy=PartialCountdownPolicy(80.0))
+        w.run(3_000_000)
+        honest = w.collector.mean_delay_us(1)
+        cheater = w.collector.mean_delay_us(2)
+        assert cheater > 0.8 * honest
+
+    def test_contention_increases_delay(self):
+        lone = World(seed=4)
+        lone.add_receiver(DcfMac, 0, (0.0, 0.0))
+        lone.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        lone.run(1_500_000)
+        crowded = World(seed=4)
+        crowded.add_receiver(DcfMac, 0, (0.0, 0.0))
+        for i in range(1, 5):
+            crowded.add_sender(
+                DcfMac, i, (150.0 * (-1) ** i, 100.0 * i), dst=0
+            )
+        crowded.run(1_500_000)
+        assert (crowded.collector.mean_delay_us(1)
+                > lone.collector.mean_delay_us(1))

@@ -1,0 +1,95 @@
+"""Tests for equation 1 (deviation identification)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deviation import check_deviation
+
+
+class TestEquationOne:
+    def test_exact_compliance_not_deviating(self):
+        v = check_deviation(b_exp=20, b_act=20, alpha=0.9)
+        assert not v.deviated
+        assert v.deviation == 0.0
+        assert v.difference == 0.0
+
+    def test_small_shortfall_within_alpha_tolerated(self):
+        # 19 >= 0.9 * 20 = 18: tolerated.
+        v = check_deviation(b_exp=20, b_act=19, alpha=0.9)
+        assert not v.deviated
+
+    def test_shortfall_beyond_alpha_flagged(self):
+        # 17 < 18: deviation of magnitude 18 - 17 = 1.
+        v = check_deviation(b_exp=20, b_act=17, alpha=0.9)
+        assert v.deviated
+        assert v.deviation == pytest.approx(1.0)
+
+    def test_overwait_gives_negative_difference(self):
+        v = check_deviation(b_exp=20, b_act=35, alpha=0.9)
+        assert not v.deviated
+        assert v.difference == -15.0
+
+    def test_zero_expected_backoff_never_deviates(self):
+        v = check_deviation(b_exp=0, b_act=0, alpha=0.9)
+        assert not v.deviated
+
+    def test_alpha_one_requires_full_wait(self):
+        assert check_deviation(10, 9, alpha=1.0).deviated
+        assert not check_deviation(10, 10, alpha=1.0).deviated
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            check_deviation(10, 5, alpha=0.0)
+        with pytest.raises(ValueError):
+            check_deviation(10, 5, alpha=1.5)
+
+    def test_negative_observations_rejected(self):
+        with pytest.raises(ValueError):
+            check_deviation(-1, 0, 0.9)
+        with pytest.raises(ValueError):
+            check_deviation(0, -1, 0.9)
+
+
+class TestDeviationProperties:
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=0, max_value=5000),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=200)
+    def test_deviation_magnitude_consistency(self, b_exp, b_act, alpha):
+        v = check_deviation(b_exp, b_act, alpha)
+        if v.deviated:
+            assert v.deviation == pytest.approx(alpha * b_exp - b_act)
+            assert v.deviation > 0
+        else:
+            assert v.deviation == 0.0
+
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=0, max_value=5000),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=200)
+    def test_difference_is_signed_gap(self, b_exp, b_act, alpha):
+        v = check_deviation(b_exp, b_act, alpha)
+        assert v.difference == pytest.approx(b_exp - b_act)
+
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    @settings(max_examples=100)
+    def test_smaller_alpha_is_more_permissive(self, b_exp, alpha):
+        """Anything tolerated at alpha stays tolerated at alpha' < alpha."""
+        b_act = math.ceil(alpha * b_exp)  # at/above the boundary
+        assert not check_deviation(b_exp, b_act, alpha).deviated
+        assert not check_deviation(b_exp, b_act, alpha / 2).deviated
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_full_wait_never_deviates(self, b_exp):
+        assert not check_deviation(b_exp, b_exp, 0.9).deviated

@@ -1,0 +1,103 @@
+"""Tests for the W/THRESH diagnosis window."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diagnosis import DiagnosisWindow
+
+
+class TestWindowSemantics:
+    def test_not_misbehaving_initially(self):
+        win = DiagnosisWindow(window=5, thresh=20)
+        assert not win.is_misbehaving
+
+    def test_flags_when_sum_exceeds_thresh(self):
+        win = DiagnosisWindow(window=5, thresh=20)
+        for _ in range(4):
+            assert not win.update(5.0)  # sums 5, 10, 15, 20 (== not >)
+        assert win.update(5.0)  # sum 25 > 20
+
+    def test_sum_equal_to_thresh_not_flagged(self):
+        win = DiagnosisWindow(window=5, thresh=20)
+        win.update(20.0)
+        assert not win.is_misbehaving
+
+    def test_old_samples_roll_out(self):
+        win = DiagnosisWindow(window=3, thresh=10)
+        win.update(100.0)
+        assert win.is_misbehaving
+        win.update(0.0)
+        win.update(0.0)
+        win.update(0.0)  # the 100 has rolled out
+        assert not win.is_misbehaving
+        assert win.windowed_sum == 0.0
+
+    def test_negative_differences_offset_positive(self):
+        """Over-waiting on some packets excuses under-waiting on others."""
+        win = DiagnosisWindow(window=5, thresh=20)
+        win.update(30.0)
+        assert win.is_misbehaving
+        win.update(-30.0)
+        assert not win.is_misbehaving
+
+    def test_window_one_behaves_like_per_packet_test(self):
+        win = DiagnosisWindow(window=1, thresh=4)
+        assert win.update(5.0)
+        assert not win.update(3.0)
+
+    def test_reset_clears_history(self):
+        win = DiagnosisWindow(window=3, thresh=5)
+        win.update(100.0)
+        win.reset()
+        assert not win.is_misbehaving
+        assert win.windowed_sum == 0.0
+        assert win.contents == ()
+
+    def test_counters(self):
+        win = DiagnosisWindow(window=2, thresh=0)
+        win.update(1.0)   # sum 1 > 0: flagged
+        win.update(-5.0)  # sum -4: not flagged
+        assert win.observations == 2
+        assert win.flagged_observations == 1
+
+    def test_contents_ordered_oldest_first(self):
+        win = DiagnosisWindow(window=3, thresh=100)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            win.update(v)
+        assert win.contents == (2.0, 3.0, 4.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DiagnosisWindow(window=0, thresh=10)
+
+
+class TestWindowProperties:
+    @given(st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1,
+                    max_size=100))
+    @settings(max_examples=100)
+    def test_sum_matches_last_w_entries(self, values):
+        w = 5
+        win = DiagnosisWindow(window=w, thresh=0)
+        for v in values:
+            win.update(v)
+        assert win.windowed_sum == pytest.approx(sum(values[-w:]), abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=6,
+                    max_size=50))
+    @settings(max_examples=50)
+    def test_persistent_cheater_eventually_flagged(self, values):
+        """All-positive differences above thresh/W must trigger."""
+        win = DiagnosisWindow(window=5, thresh=20)
+        flagged = False
+        for v in values:
+            flagged = win.update(v + 4.0) or flagged  # each > thresh/W
+        assert flagged
+
+    @given(st.lists(st.floats(min_value=-100.0, max_value=0.0), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50)
+    def test_overwaiting_sender_never_flagged(self, values):
+        win = DiagnosisWindow(window=5, thresh=20)
+        for v in values:
+            assert not win.update(v)

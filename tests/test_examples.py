@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs and prints sane output.
+
+The heavyweight figure-reproduction driver is exercised at the QUICK
+scale via the environment toggle.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, argv=None, monkeypatch=None):
+    if monkeypatch is not None:
+        monkeypatch.setattr(sys, "argv", [path] + (argv or []))
+    return runpy.run_path(path, run_name="__main__")
+
+
+class TestExamples:
+    def test_quickstart(self, capsys, monkeypatch):
+        run_example("examples/quickstart.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "misbehaving" in out
+        assert "Correct diagnosis" in out
+
+    def test_adhoc_random_network(self, capsys, monkeypatch):
+        run_example("examples/adhoc_random_network.py",
+                    monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "Diagnosis summary" in out
+        assert "Caught" in out
+
+    def test_extensions_demo(self, capsys, monkeypatch):
+        run_example("examples/extensions_demo.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "proof of misbehavior: YES" in out
+        assert "VIOLATION" in out
+        assert "adaptive" in out
+
+    def test_driveby_mobility(self, capsys, monkeypatch):
+        run_example("examples/driveby_mobility.py", monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "m/s" in out
+        assert "diagnosed" in out
+
+    @pytest.mark.slow
+    def test_hotspot_misbehavior(self, capsys, monkeypatch):
+        run_example("examples/hotspot_misbehavior.py",
+                    monkeypatch=monkeypatch)
+        out = capsys.readouterr().out
+        assert "CORRECT cheater" in out
+
+    def test_reproduce_figures_quick(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        monkeypatch.setattr(
+            sys, "argv", ["examples/reproduce_figures.py", "intro"]
+        )
+        run_example("examples/reproduce_figures.py")
+        out = capsys.readouterr().out
+        assert "intro" in out
+        assert "generated in" in out

@@ -1,0 +1,49 @@
+"""Tests for the batch figure exporter."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import export_all, export_figure
+from repro.experiments.settings import EvalSettings
+
+TINY = EvalSettings(
+    duration_us=600_000,
+    seeds=(1,),
+    pm_values=(0.0, 100.0),
+    network_sizes=(1,),
+    fig8_pm_values=(80.0,),
+    random_topologies=1,
+    random_nodes=8,
+    random_misbehaving=1,
+)
+
+
+class TestExport:
+    def test_export_figure_writes_table_and_json(self, tmp_path):
+        fig = export_figure("intro", tmp_path, TINY)
+        table = (tmp_path / "intro.txt").read_text()
+        assert "intro" in table
+        payload = json.loads((tmp_path / "intro.json").read_text())
+        assert payload["figure_id"] == "intro"
+        assert fig.series
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            export_figure("nope", tmp_path, TINY)
+
+    def test_export_selected_figures(self, tmp_path, capsys):
+        results = export_all(
+            str(tmp_path), settings=TINY, figure_ids=["intro", "fig5"]
+        )
+        assert set(results) == {"intro", "fig5"}
+        assert (tmp_path / "fig5.txt").exists()
+        assert (tmp_path / "fig5.json").exists()
+        out = capsys.readouterr().out
+        assert "fig5" in out
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_all(str(target), settings=TINY, figure_ids=["intro"],
+                   verbose=False)
+        assert (target / "intro.txt").exists()

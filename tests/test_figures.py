@@ -1,0 +1,112 @@
+"""Smoke + shape tests for the figure generators (quick scale)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    FigureResult,
+    figure4,
+    figure5,
+    figure8,
+    intro_claim,
+)
+from repro.experiments.report import render_table, to_json
+from repro.experiments.settings import EvalSettings
+
+#: Tiny scale so the whole module runs in tens of seconds.
+TINY = EvalSettings(
+    duration_us=1_200_000,
+    seeds=(1, 2),
+    pm_values=(0.0, 100.0),
+    network_sizes=(1, 4),
+    fig8_pm_values=(80.0,),
+    random_topologies=1,
+    random_nodes=12,
+    random_misbehaving=2,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4(TINY)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figure5(TINY)
+
+
+class TestFigure4:
+    def test_series_present(self, fig4):
+        assert set(fig4.series) == {
+            "ZERO-FLOW correct diagnosis",
+            "ZERO-FLOW misdiagnosis",
+            "TWO-FLOW correct diagnosis",
+            "TWO-FLOW misdiagnosis",
+        }
+
+    def test_full_misbehavior_diagnosed(self, fig4):
+        zero = dict(fig4.series["ZERO-FLOW correct diagnosis"])
+        assert zero[100.0] > 90.0
+
+    def test_no_misbehavior_no_correct_diagnosis(self, fig4):
+        zero = dict(fig4.series["ZERO-FLOW correct diagnosis"])
+        assert zero[0.0] == 0.0
+
+    def test_zero_flow_misdiagnosis_low(self, fig4):
+        mis = dict(fig4.series["ZERO-FLOW misdiagnosis"])
+        assert mis[0.0] < 10.0
+
+
+class TestFigure5:
+    def test_series_present(self, fig5):
+        assert set(fig5.series) == {
+            "802.11 - MSB", "802.11 - AVG", "CORRECT - MSB", "CORRECT - AVG",
+        }
+
+    def test_cheater_dominates_under_80211(self, fig5):
+        msb = dict(fig5.series["802.11 - MSB"])
+        avg = dict(fig5.series["802.11 - AVG"])
+        assert msb[100.0] > 5 * max(avg[100.0], 1e-9)
+
+    def test_honest_baseline_has_no_msb(self, fig5):
+        msb = dict(fig5.series["802.11 - MSB"])
+        assert msb[0.0] == 0.0
+
+
+class TestFigure8:
+    def test_time_series_shape(self):
+        fig = figure8(TINY)
+        series = fig.series["PM=80%"]
+        assert len(series) == 2  # 1.2 s horizon, 1 s bins -> 2 bins
+        assert all(0.0 <= y <= 100.0 for _, y in series)
+
+
+class TestIntroClaim:
+    def test_cheater_beats_fair_share(self):
+        fig = intro_claim(TINY)
+        fair = fig.series["fair share (all honest)"][0][1]
+        cheat = fig.series["cheater (MSB)"][0][1]
+        assert cheat > fair
+        assert "degradation_percent" in fig.meta
+
+
+class TestReport:
+    def test_render_table_contains_all_series(self, fig4):
+        table = render_table(fig4)
+        for name in fig4.series:
+            assert name in table
+        assert "fig4" in table
+
+    def test_to_json_round_trips(self, fig4):
+        import json
+
+        payload = json.loads(to_json(fig4))
+        assert payload["figure_id"] == "fig4"
+        assert set(payload["series"]) == set(fig4.series)
+
+    def test_figure_result_accessors(self):
+        fig = FigureResult("x", "t", "x", "y")
+        fig.add_point("s", 2.0, 20.0)
+        fig.add_point("s", 1.0, 10.0)
+        assert fig.xs("s") == [1.0, 2.0]
+        assert fig.ys("s") == [10.0, 20.0]

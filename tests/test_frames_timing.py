@@ -1,0 +1,117 @@
+"""Tests for frame sizes, airtimes and exchange timing."""
+
+import pytest
+
+from repro.mac.frames import (
+    Frame,
+    FrameKind,
+    ack_size,
+    cts_size,
+    data_size,
+    rts_size,
+)
+from repro.mac.timing import ExchangeTiming
+from repro.phy.constants import (
+    DEFAULT_TIMINGS,
+    PhyTimings,
+    transmission_time_us,
+)
+
+
+class TestFrameSizes:
+    def test_standard_sizes(self):
+        assert rts_size(False) == 20
+        assert cts_size(False) == 14
+        assert ack_size(False) == 14
+        assert data_size(512) == 540
+
+    def test_modified_protocol_pays_header_cost(self):
+        assert rts_size(True) == 21      # + attempt byte
+        assert cts_size(True) == 16      # + 2-byte assigned backoff
+        assert ack_size(True) == 16
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            data_size(-1)
+
+
+class TestAirtime:
+    def test_plcp_overhead_dominates_short_frames(self):
+        # 14-byte ACK at 2 Mbps: 192 + ceil(112/2) = 248 us.
+        assert transmission_time_us(14) == 248
+
+    def test_data_frame_at_2mbps(self):
+        # 540 bytes: 192 + 4320/2 = 2352 us.
+        assert transmission_time_us(540) == 2352
+
+    def test_rate_scaling(self):
+        fast = transmission_time_us(540, bit_rate=11_000_000)
+        slow = transmission_time_us(540, bit_rate=1_000_000)
+        assert fast < transmission_time_us(540) < slow
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_time_us(-1)
+
+
+class TestPhyTimings:
+    def test_difs_definition(self):
+        t = PhyTimings()
+        assert t.difs_us == t.sifs_us + 2 * t.slot_us == 50
+
+    def test_eifs_definition(self):
+        t = PhyTimings()
+        # EIFS = SIFS + ACK airtime + DIFS = 10 + 248 + 50.
+        assert t.eifs_us == 308
+
+    def test_default_contention_windows(self):
+        assert DEFAULT_TIMINGS.cw_min == 31
+        assert DEFAULT_TIMINGS.cw_max == 1023
+
+
+class TestExchangeTiming:
+    @pytest.fixture
+    def et(self):
+        return ExchangeTiming(PhyTimings(), payload_bytes=512,
+                              modified_protocol=True)
+
+    def test_nav_nesting(self, et):
+        """Each frame's NAV covers strictly less than the previous."""
+        assert et.rts_nav > et.cts_nav > et.data_nav > 0
+
+    def test_rts_nav_covers_rest_of_exchange(self, et):
+        assert et.rts_nav == (
+            3 * 10 + et.cts_airtime + et.data_airtime + et.ack_airtime
+        )
+
+    def test_timeouts_exceed_expected_response_time(self, et):
+        # CTS arrives SIFS + cts_airtime after the RTS ends.
+        assert et.cts_timeout > 10 + et.cts_airtime
+        assert et.ack_timeout > 10 + et.ack_airtime
+        assert et.data_timeout > 10 + et.data_airtime
+
+    def test_exchange_airtime_sum(self, et):
+        assert et.exchange_airtime == (
+            et.rts_airtime + et.cts_airtime + et.data_airtime
+            + et.ack_airtime + 30
+        )
+
+    def test_modified_protocol_slightly_slower(self):
+        plain = ExchangeTiming(PhyTimings(), 512, modified_protocol=False)
+        modified = ExchangeTiming(PhyTimings(), 512, modified_protocol=True)
+        assert modified.exchange_airtime >= plain.exchange_airtime
+
+
+class TestFrameRecord:
+    def test_frame_is_immutable(self):
+        f = Frame(kind=FrameKind.RTS, src=1, dst=2, size_bytes=20,
+                  duration_us=100)
+        with pytest.raises(AttributeError):
+            f.src = 9
+
+    def test_defaults(self):
+        f = Frame(kind=FrameKind.ACK, src=1, dst=2, size_bytes=14,
+                  duration_us=0)
+        assert f.attempt == 0
+        assert f.assigned_backoff == -1
+        assert f.payload_bytes == 0

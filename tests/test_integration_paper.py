@@ -1,0 +1,132 @@
+"""End-to-end checks of the paper's headline claims (scaled down).
+
+These tests run the actual evaluation scenarios briefly and assert the
+*qualitative* results the paper reports.  They are the closest thing
+to an executable summary of the reproduction.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_seeds
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+)
+from repro.metrics.stats import mean
+from repro.net.topology import circle_topology
+
+DURATION = 2_500_000
+SEEDS = (1, 2, 3)
+
+
+def run(protocol, pm, with_interferers=False):
+    topo = circle_topology(
+        8, misbehaving=(3,) if pm else (), pm_percent=pm,
+        with_interferers=with_interferers,
+    )
+    cfg = ScenarioConfig(topology=topo, protocol=protocol,
+                         duration_us=DURATION)
+    return run_seeds(cfg, SEEDS)
+
+
+@pytest.fixture(scope="module")
+def correct_pm60():
+    return run(PROTOCOL_CORRECT, 60.0)
+
+
+@pytest.fixture(scope="module")
+def dcf_pm60():
+    return run(PROTOCOL_80211, 60.0)
+
+
+class TestSection1Claim:
+    def test_misbehavior_degrades_honest_nodes_under_80211(self, dcf_pm60):
+        honest_baseline = run(PROTOCOL_80211, 0.0)
+        fair = mean([r.avg_throughput_bps for r in honest_baseline])
+        degraded = mean([r.avg_throughput_bps for r in dcf_pm60])
+        assert degraded < 0.85 * fair
+
+    def test_cheater_gains_under_80211(self, dcf_pm60):
+        msb = mean([r.msb_throughput_bps for r in dcf_pm60])
+        avg = mean([r.avg_throughput_bps for r in dcf_pm60])
+        assert msb > 2.0 * avg
+
+
+class TestCorrectionScheme:
+    def test_cheater_restrained_under_correct(self, correct_pm60, dcf_pm60):
+        msb_correct = mean([r.msb_throughput_bps for r in correct_pm60])
+        msb_80211 = mean([r.msb_throughput_bps for r in dcf_pm60])
+        assert msb_correct < 0.6 * msb_80211
+
+    def test_honest_nodes_protected_under_correct(self, correct_pm60):
+        honest_baseline = run(PROTOCOL_CORRECT, 0.0)
+        fair = mean([r.avg_throughput_bps for r in honest_baseline])
+        protected = mean([r.avg_throughput_bps for r in correct_pm60])
+        assert protected > 0.85 * fair
+
+    def test_correct_msb_near_fair_share(self, correct_pm60):
+        msb = mean([r.msb_throughput_bps for r in correct_pm60])
+        avg = mean([r.avg_throughput_bps for r in correct_pm60])
+        assert msb < 1.6 * avg
+
+
+class TestDiagnosisScheme:
+    def test_diagnosis_monotone_in_pm(self):
+        rates = []
+        for pm in (20.0, 60.0, 100.0):
+            results = run(PROTOCOL_CORRECT, pm)
+            rates.append(mean([r.correct_diagnosis_percent for r in results]))
+        assert rates[0] < rates[1] < rates[2]
+        assert rates[2] > 95.0
+
+    def test_zero_flow_misdiagnosis_near_zero(self, correct_pm60):
+        mis = mean([r.misdiagnosis_percent for r in correct_pm60])
+        assert mis < 8.0
+
+    def test_two_flow_trades_misdiagnosis_for_sensitivity(self):
+        """TWO-FLOW: higher correct diagnosis at small PM, but higher
+        misdiagnosis (the paper's stated tradeoff).  Probed at PM=10,
+        below this reproduction's diagnosis knee (see EXPERIMENTS.md:
+        our knee sits lower than the paper's because the stronger
+        correction penalties feed back into B_exp)."""
+        zero = run(PROTOCOL_CORRECT, 10.0, with_interferers=False)
+        two = run(PROTOCOL_CORRECT, 10.0, with_interferers=True)
+        diag_zero = mean([r.correct_diagnosis_percent for r in zero])
+        diag_two = mean([r.correct_diagnosis_percent for r in two])
+        mis_zero = mean([r.misdiagnosis_percent for r in zero])
+        mis_two = mean([r.misdiagnosis_percent for r in two])
+        assert diag_two > diag_zero
+        assert mis_two > mis_zero
+
+
+class TestProtocolOverheadWithoutMisbehavior:
+    def test_correct_matches_80211_throughput(self):
+        """Figure 6: the curves almost overlap."""
+        for n in (2, 8):
+            topo = circle_topology(n)
+            a = run_seeds(
+                ScenarioConfig(topology=topo, protocol=PROTOCOL_80211,
+                               duration_us=DURATION), SEEDS,
+            )
+            b = run_seeds(
+                ScenarioConfig(topology=topo, protocol=PROTOCOL_CORRECT,
+                               duration_us=DURATION), SEEDS,
+            )
+            t_a = mean([r.avg_throughput_bps for r in a])
+            t_b = mean([r.avg_throughput_bps for r in b])
+            assert abs(t_a - t_b) / t_a < 0.12
+
+    def test_fairness_comparable(self):
+        topo = circle_topology(8)
+        a = run_seeds(
+            ScenarioConfig(topology=topo, protocol=PROTOCOL_80211,
+                           duration_us=DURATION), SEEDS,
+        )
+        b = run_seeds(
+            ScenarioConfig(topology=topo, protocol=PROTOCOL_CORRECT,
+                           duration_us=DURATION), SEEDS,
+        )
+        f_a = mean([r.fairness_index for r in a])
+        f_b = mean([r.fairness_index for r in b])
+        assert abs(f_a - f_b) < 0.1

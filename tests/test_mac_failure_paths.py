@@ -1,0 +1,108 @@
+"""Failure-injection tests for the MAC: timeouts, retries, drops.
+
+These exercise the unhappy paths explicitly: a destination that never
+answers (CTS timeout and retry-limit drops), lost ACK cycles, and
+contention windows growing across retries.
+"""
+
+import pytest
+
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+
+from tests.conftest import World
+
+
+class TestUnreachableDestination:
+    def make_world(self, mac_cls):
+        w = World(seed=61)
+        # Destination far outside reception range: RTSs die silently.
+        w.add_receiver(mac_cls, 0, (5000.0, 0.0))
+        w.add_sender(mac_cls, 1, (0.0, 0.0), dst=0)
+        return w
+
+    @pytest.mark.parametrize("mac_cls", [DcfMac, CorrectMac])
+    def test_packets_dropped_at_retry_limit(self, mac_cls):
+        w = self.make_world(mac_cls)
+        w.run(2_000_000)
+        mac = w.nodes[1].mac
+        assert mac.packets_delivered == 0
+        assert mac.packets_dropped > 0
+        # Each dropped packet consumed exactly retry_limit RTS attempts.
+        assert mac.rts_sent == pytest.approx(
+            mac.packets_dropped * mac.retry_limit, abs=mac.retry_limit
+        )
+
+    def test_drops_reported_to_collector(self):
+        w = self.make_world(DcfMac)
+        w.run(2_000_000)
+        assert w.collector.flows[1].dropped_packets > 0
+
+    def test_sender_keeps_cycling_after_drops(self):
+        """The queue never wedges: drops are followed by new packets."""
+        w = self.make_world(DcfMac)
+        w.run(3_000_000)
+        assert w.nodes[1].mac.packets_dropped >= 5
+
+
+class TestRetryBackoffGrowth:
+    def test_80211_retry_draws_from_doubled_window(self):
+        """Observe the policy being asked for growing windows."""
+        calls = []
+
+        from repro.core.sender_policy import ConformingPolicy
+
+        class SpyPolicy(ConformingPolicy):
+            def select_backoff(self, rng, cw):
+                calls.append(cw)
+                return super().select_backoff(rng, cw)
+
+        w = World(seed=62)
+        w.add_receiver(DcfMac, 0, (5000.0, 0.0))
+        w.add_sender(DcfMac, 1, (0.0, 0.0), dst=0, policy=SpyPolicy())
+        w.run(400_000)
+        assert 31 in calls
+        assert 63 in calls
+        assert 127 in calls
+
+    def test_correct_retry_backoffs_are_deterministic(self):
+        """Two identical runs produce identical retry schedules."""
+        def rts_times(seed):
+            w = World(seed=seed)
+            from repro.sim.trace import TraceLog
+
+            w.medium.trace = TraceLog()
+            w.add_receiver(CorrectMac, 0, (5000.0, 0.0))
+            w.add_sender(CorrectMac, 1, (0.0, 0.0), dst=0)
+            w.run(300_000)
+            return [e.time for e in w.medium.trace
+                    if e.kind == "tx_start" and e.node == 1]
+
+        assert rts_times(63) == rts_times(63)
+
+
+class TestResponderTimeout:
+    def test_responder_releases_after_missing_data(self):
+        """If the DATA never arrives after our CTS, the responder
+        must clear and serve the next sender."""
+        w = World(seed=64)
+        w.add_receiver(CorrectMac, 0, (0.0, 0.0))
+        w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0)
+        w.run(1_000_000)
+        receiver = w.nodes[0].mac
+        # Steady state: not stuck responding at an arbitrary horizon.
+        assert w.collector.flows[1].delivered_packets > 100
+        # Forced check: wedge the responder on a phantom sender and
+        # verify the data-timeout path releases it (progress resumes).
+        from repro.mac.dcf import _Responder
+
+        delivered_before = w.collector.flows[1].delivered_packets
+        receiver._responding = True
+        receiver._responder = _Responder(src=99, attempt=1)
+        receiver._responder.timeout = receiver.sim.schedule(
+            receiver.exchange_timing.data_timeout,
+            receiver._responder_timeout,
+        )
+        receiver._update_blocked()
+        receiver.sim.run(until=receiver.sim.now + 3_000_000)
+        assert w.collector.flows[1].delivered_packets > delivered_before + 50

@@ -1,0 +1,244 @@
+"""Tests for the shared medium: sensing classes, delivery, collisions."""
+
+import pytest
+
+from repro.mac.frames import Frame, FrameKind
+from repro.phy.constants import PhyTimings
+from repro.phy.medium import Medium
+from repro.phy.propagation import ShadowingModel
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class RecordingListener:
+    """Minimal MediumListener that records every callback."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.busy_edges = []
+        self.idle_edges = []
+        self.marginal_changes = 0
+        self.frames = []
+        self.corrupted = 0
+        self._medium = None
+        self._sim = None
+
+    def on_channel_busy(self):
+        self.busy_edges.append(self._sim.now)
+
+    def on_channel_idle(self):
+        self.idle_edges.append(self._sim.now)
+
+    def on_marginal_change(self):
+        self.marginal_changes += 1
+
+    def on_frame(self, frame):
+        self.frames.append(frame)
+
+    def on_frame_corrupted(self):
+        self.corrupted += 1
+
+
+def make_world(sigma=0.0, seed=1):
+    sim = Simulator()
+    registry = RngRegistry(seed)
+    medium = Medium(sim, ShadowingModel(sigma_db=sigma),
+                    rng=registry.stream("shadowing"), timings=PhyTimings())
+    return sim, medium
+
+
+def add_listener(sim, medium, node_id, position):
+    listener = RecordingListener(node_id)
+    listener._sim = sim
+    listener._medium = medium
+    medium.register(listener, position)
+    return listener
+
+
+def frame(src, dst, kind=FrameKind.DATA, payload=100):
+    return Frame(kind=kind, src=src, dst=dst, size_bytes=payload,
+                 duration_us=0, payload_bytes=payload)
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        with pytest.raises(ValueError):
+            add_listener(sim, medium, 1, (10, 0))
+
+    def test_link_probabilities_cached_and_symmetric_distance(self):
+        sim, medium = make_world(sigma=1.0)
+        add_listener(sim, medium, 1, (0, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        ab = medium.link(1, 2)
+        ba = medium.link(2, 1)
+        assert ab.distance_m == pytest.approx(ba.distance_m)
+        assert medium.link(1, 2) is ab  # cached
+
+    def test_self_link_is_perfect(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        assert medium.link(1, 1).sense == 1.0
+
+
+class TestSensingEdges:
+    def test_strong_busy_and_idle_edges(self):
+        sim, medium = make_world()
+        a = add_listener(sim, medium, 1, (0, 0))
+        b = add_listener(sim, medium, 2, (100, 0))  # strong link
+        sim.schedule(10, lambda: medium.start_transmission(1, frame(1, 2), 200))
+        sim.run()
+        assert b.busy_edges == [10]
+        assert b.idle_edges == [210]
+
+    def test_transmitter_senses_itself_busy(self):
+        sim, medium = make_world()
+        a = add_listener(sim, medium, 1, (0, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 2), 100))
+        sim.run()
+        assert a.busy_edges == [0]
+        assert a.idle_edges == [100]
+
+    def test_overlapping_strong_transmissions_single_busy_period(self):
+        sim, medium = make_world()
+        c = add_listener(sim, medium, 3, (50, 0))
+        add_listener(sim, medium, 1, (0, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 3), 100))
+        sim.schedule(50, lambda: medium.start_transmission(2, frame(2, 3), 100))
+        sim.run()
+        assert c.busy_edges == [0]
+        assert c.idle_edges == [150]
+
+    def test_negligible_links_ignored(self):
+        sim, medium = make_world()
+        far = add_listener(sim, medium, 9, (10_000, 0))
+        add_listener(sim, medium, 1, (0, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 9), 100))
+        sim.run()
+        assert far.busy_edges == []
+        assert far.marginal_changes == 0
+        assert far.frames == []
+
+    def test_marginal_link_reports_changes_not_edges(self):
+        sim, medium = make_world(sigma=1.0)
+        # 550 m: sense probability exactly 0.5 -> marginal.
+        mid = add_listener(sim, medium, 5, (550, 0))
+        add_listener(sim, medium, 1, (0, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 2), 100))
+        sim.run()
+        assert mid.busy_edges == []
+        assert mid.marginal_changes == 2  # start and end
+        p_during = 0.5
+        # After the run the marginal set is empty again.
+        assert medium.marginal_busy_probability(5) == 0.0
+        assert 0.4 < p_during < 0.6  # documented expectation
+
+    def test_combined_marginal_probability(self):
+        sim, medium = make_world(sigma=1.0)
+        mid = add_listener(sim, medium, 5, (0, 0))
+        add_listener(sim, medium, 1, (550, 0))
+        add_listener(sim, medium, 2, (0, 550))
+        probes = []
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 5), 100))
+        sim.schedule(10, lambda: medium.start_transmission(2, frame(2, 5), 100))
+        sim.schedule(50, lambda: probes.append(medium.marginal_busy_probability(5)))
+        sim.run()
+        # Two p=0.5 marginals: 1 - 0.5*0.5 = 0.75.
+        assert probes[0] == pytest.approx(0.75, abs=0.01)
+
+
+class TestDelivery:
+    def test_clean_delivery_on_strong_link(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        b = add_listener(sim, medium, 2, (100, 0))
+        f = frame(1, 2)
+        sim.schedule(0, lambda: medium.start_transmission(1, f, 100))
+        sim.run()
+        assert b.frames == [f]
+        assert b.corrupted == 0
+
+    def test_overhearers_also_decode(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        c = add_listener(sim, medium, 3, (0, 100))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 2), 100))
+        sim.run()
+        assert len(c.frames) == 1
+
+    def test_out_of_range_no_delivery(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        far = add_listener(sim, medium, 2, (400, 0))  # sensed, not received
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 2), 100))
+        sim.run()
+        assert far.frames == []
+        assert far.corrupted == 1  # energy sensed but not decodable
+
+    def test_equal_power_collision_corrupts_both(self):
+        sim, medium = make_world()
+        r = add_listener(sim, medium, 0, (0, 0))
+        add_listener(sim, medium, 1, (-100, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 0), 100))
+        sim.schedule(0, lambda: medium.start_transmission(2, frame(2, 0), 100))
+        sim.run()
+        assert r.frames == []
+        assert r.corrupted == 2
+
+    def test_capture_strong_over_weak(self):
+        """A much closer transmitter captures over a distant one."""
+        sim, medium = make_world()
+        r = add_listener(sim, medium, 0, (0, 0))
+        add_listener(sim, medium, 1, (50, 0))     # very close
+        add_listener(sim, medium, 2, (500, 0))    # far interferer
+        near = frame(1, 0)
+        sim.schedule(0, lambda: medium.start_transmission(1, near, 100))
+        sim.schedule(0, lambda: medium.start_transmission(2, frame(2, 0), 100))
+        sim.run()
+        # 20 dB margin >> 10 dB capture threshold at sigma=0.
+        assert near in r.frames
+
+    def test_half_duplex_transmitter_deaf(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        b = add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 2), 100))
+        sim.schedule(10, lambda: medium.start_transmission(2, frame(2, 1), 50))
+        sim.run()
+        # Node 1 was transmitting for the whole of node 2's frame.
+        listener1 = next(
+            s.listener for n, s in medium._states.items() if n == 1
+        )
+        assert listener1.frames == []
+
+    def test_partial_overlap_still_corrupts(self):
+        sim, medium = make_world()
+        r = add_listener(sim, medium, 0, (0, 0))
+        add_listener(sim, medium, 1, (-100, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 0), 100))
+        sim.schedule(90, lambda: medium.start_transmission(2, frame(2, 0), 100))
+        sim.run()
+        assert r.frames == []
+
+    def test_zero_airtime_rejected(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        with pytest.raises(ValueError):
+            medium.start_transmission(1, frame(1, 1), 0)
+
+    def test_counters(self):
+        sim, medium = make_world()
+        add_listener(sim, medium, 1, (0, 0))
+        add_listener(sim, medium, 2, (100, 0))
+        sim.schedule(0, lambda: medium.start_transmission(1, frame(1, 2), 100))
+        sim.run()
+        assert medium.transmissions_started == 1
+        assert medium.frames_decoded == 1
+        assert medium.active_transmissions == 0

@@ -1,0 +1,151 @@
+"""Tests for metrics collection, fairness and cross-run statistics."""
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.fairness import jain_index
+from repro.metrics.stats import Summary, elementwise_mean, mean, summarize
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_monopoly(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_paper_formula(self):
+        values = [1.0, 2.0, 3.0]
+        expected = (6.0 ** 2) / (3 * (1 + 4 + 9))
+        assert jain_index(values) == pytest.approx(expected)
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    def test_bounds(self):
+        values = [3.0, 1.0, 7.0, 2.0]
+        index = jain_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+
+class TestCollector:
+    def make(self):
+        return MetricsCollector(misbehaving={3}, measured_senders={1, 2, 3})
+
+    def test_delivery_accounting(self):
+        c = self.make()
+        c.on_delivery(src=1, dst=0, payload_bytes=512, time=100,
+                      diagnosed=False)
+        c.on_delivery(src=1, dst=0, payload_bytes=512, time=200,
+                      diagnosed=False)
+        assert c.flows[1].delivered_packets == 2
+        assert c.throughput_bps(1, 1_000_000) == pytest.approx(
+            2 * 512 * 8
+        )
+
+    def test_unmeasured_senders_excluded_from_summaries(self):
+        c = self.make()
+        c.on_delivery(src=101, dst=102, payload_bytes=512, time=1,
+                      diagnosed=True)
+        assert 101 not in c.throughputs(1_000_000)
+        assert c.misdiagnosis_percent() == 0.0
+
+    def test_correct_diagnosis_percent(self):
+        c = self.make()
+        for i in range(10):
+            c.on_delivery(src=3, dst=0, payload_bytes=512, time=i,
+                          diagnosed=(i < 7))
+        assert c.correct_diagnosis_percent() == pytest.approx(70.0)
+
+    def test_misdiagnosis_percent(self):
+        c = self.make()
+        for i in range(20):
+            c.on_delivery(src=1, dst=0, payload_bytes=512, time=i,
+                          diagnosed=(i < 1))
+        assert c.misdiagnosis_percent() == pytest.approx(5.0)
+
+    def test_avg_and_msb_split(self):
+        c = self.make()
+        for _ in range(4):
+            c.on_delivery(src=1, dst=0, payload_bytes=512, time=1,
+                          diagnosed=False)
+        for _ in range(2):
+            c.on_delivery(src=2, dst=0, payload_bytes=512, time=1,
+                          diagnosed=False)
+        for _ in range(9):
+            c.on_delivery(src=3, dst=0, payload_bytes=512, time=1,
+                          diagnosed=True)
+        duration = 1_000_000
+        avg = c.average_wellbehaved_throughput(duration)
+        msb = c.average_misbehaving_throughput(duration)
+        assert avg == pytest.approx((4 + 2) / 2 * 512 * 8)
+        assert msb == pytest.approx(9 * 512 * 8)
+
+    def test_empty_collector_rates_are_zero(self):
+        c = self.make()
+        assert c.correct_diagnosis_percent() == 0.0
+        assert c.misdiagnosis_percent() == 0.0
+        assert c.average_misbehaving_throughput(1000) == 0.0
+
+    def test_time_series_binning(self):
+        c = self.make()
+        # Two packets in bin 0 (one diagnosed), one in bin 2 (diagnosed).
+        c.on_delivery(src=3, dst=0, payload_bytes=1, time=100_000,
+                      diagnosed=True)
+        c.on_delivery(src=3, dst=0, payload_bytes=1, time=900_000,
+                      diagnosed=False)
+        c.on_delivery(src=3, dst=0, payload_bytes=1, time=2_500_000,
+                      diagnosed=True)
+        series = c.diagnosis_time_series(1_000_000, 3_000_000)
+        assert series == [50.0, 0.0, 100.0]
+
+    def test_time_series_invalid_bin(self):
+        with pytest.raises(ValueError):
+            self.make().diagnosis_time_series(0, 100)
+
+    def test_drop_accounting(self):
+        c = self.make()
+        c.on_sender_drop(1, 0, 50)
+        assert c.flows[1].dropped_packets == 1
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            self.make().throughput_bps(1, 0)
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        s = summarize([2.0, 4.0, 6.0])
+        assert s.mean == pytest.approx(4.0)
+        assert s.std == pytest.approx(2.0)
+        assert s.n == 3
+        assert s.ci95 > 0
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s == Summary(mean=5.0, std=0.0, ci95=0.0, n=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_mean_empty_is_zero(self):
+        assert mean([]) == 0.0
+
+    def test_elementwise_mean(self):
+        assert elementwise_mean([[1.0, 2.0], [3.0, 4.0]]) == [2.0, 3.0]
+
+    def test_elementwise_mean_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            elementwise_mean([[1.0], [1.0, 2.0]])
+
+    def test_elementwise_mean_empty(self):
+        assert elementwise_mean([]) == []

@@ -1,0 +1,95 @@
+"""End-to-end tests of receiver misbehavior and its sender-side defence.
+
+Scenario (Section 4.4): a receiver under-assigns backoffs to a
+favoured sender so that flow outruns a neighbouring honest flow.  With
+the ``g``-based audit enabled, the sender detects the under-assignment
+and waits the honest amount instead, erasing the advantage.
+"""
+
+import pytest
+
+from repro.core.params import ProtocolConfig
+from repro.mac.correct import CorrectMac
+from repro.mac.misbehaving_receiver import UnderAssigningReceiverMac
+
+from tests.conftest import World
+
+G_CONFIG = ProtocolConfig(use_deterministic_g=True)
+
+
+def favoured_vs_honest_world(audit: bool, seed: int = 11) -> World:
+    """Two co-located flows: 1 -> 0 (cheating receiver 0 favours 1)
+    and 2 -> 3 (honest pair), all within carrier sense of each other."""
+    w = World(seed=seed)
+    w.add_receiver(
+        UnderAssigningReceiverMac, 0, (0.0, 0.0),
+        config=G_CONFIG, assignment_divisor=16.0,
+    )
+    w.add_receiver(CorrectMac, 3, (0.0, 200.0), config=G_CONFIG)
+    w.add_sender(
+        CorrectMac, 1, (150.0, 0.0), dst=0,
+        config=G_CONFIG, audit_sender_assignments=audit,
+    )
+    w.add_sender(
+        CorrectMac, 2, (150.0, 200.0), dst=3,
+        config=G_CONFIG, audit_sender_assignments=audit,
+    )
+    return w
+
+
+class TestReceiverCheating:
+    def test_under_assignments_happen(self):
+        w = favoured_vs_honest_world(audit=False)
+        w.run(2_000_000)
+        receiver = w.nodes[0].mac
+        assert receiver.under_assignments > 50
+
+    def test_favoured_flow_outruns_honest_flow_without_audit(self):
+        w = favoured_vs_honest_world(audit=False)
+        w.run(3_000_000)
+        favoured = w.collector.throughput_bps(1, 3_000_000)
+        honest = w.collector.throughput_bps(2, 3_000_000)
+        assert favoured > 1.2 * honest
+
+    def test_audit_detects_violations(self):
+        w = favoured_vs_honest_world(audit=True)
+        w.run(2_000_000)
+        sender = w.nodes[2].mac  # node 1
+        auditor = sender.receiver_auditor_for(0)
+        assert auditor is not None
+        assert auditor.violations > 20
+        assert w.collector.receiver_audit_events
+
+    def test_audit_neutralises_the_advantage(self):
+        w = favoured_vs_honest_world(audit=True)
+        w.run(3_000_000)
+        favoured = w.collector.throughput_bps(1, 3_000_000)
+        honest = w.collector.throughput_bps(2, 3_000_000)
+        # The audited sender waits the honest g value, so the two
+        # flows end up sharing evenly again.
+        assert favoured < 1.15 * honest
+
+    def test_invalid_divisor(self):
+        w = World()
+        with pytest.raises(ValueError):
+            w.add_receiver(
+                UnderAssigningReceiverMac, 0, (0.0, 0.0),
+                assignment_divisor=0.5,
+            )
+
+    def test_favoured_set_respected(self):
+        w = World(seed=12)
+        w.add_receiver(
+            UnderAssigningReceiverMac, 0, (0.0, 0.0),
+            config=G_CONFIG, favoured={1}, assignment_divisor=16.0,
+        )
+        w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0, config=G_CONFIG)
+        w.add_sender(CorrectMac, 2, (-150.0, 0.0), dst=0, config=G_CONFIG)
+        w.run(2_000_000)
+        receiver = w.nodes[0].mac
+        assert receiver.under_assignments > 0
+        # The favoured sender's near-zero backoffs let it monopolise
+        # the receiver; the unfavoured sender is starved out.
+        favoured = w.collector.throughput_bps(1, 2_000_000)
+        unfavoured = w.collector.throughput_bps(2, 2_000_000)
+        assert favoured > 5 * max(unfavoured, 1.0)

@@ -1,0 +1,140 @@
+"""Tests for mobility: position updates, models, and the paper's
+fast-detection motivation (a drive-by cheater must be diagnosed
+within its short contact window)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.sender_policy import PartialCountdownPolicy
+from repro.mac.correct import CorrectMac
+from repro.mac.dcf import DcfMac
+from repro.net.mobility import LinearMobility, RandomWaypointMobility
+from repro.sim.engine import Simulator
+
+from tests.conftest import World
+
+
+class TestMediumPositionUpdates:
+    def test_update_changes_links(self, world):
+        w = world
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        strong = w.medium.link(1, 0)
+        assert strong.classify() == "strong"
+        w.medium.update_position(1, (5000.0, 0.0))
+        assert w.medium.link(1, 0).classify() == "negligible"
+
+    def test_update_unknown_node_rejected(self, world):
+        with pytest.raises(KeyError):
+            world.medium.update_position(99, (0.0, 0.0))
+
+    def test_inflight_transmission_bookkeeping_balanced(self, world):
+        """Moving a node mid-transmission must not leak busy counts."""
+        w = world
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (150.0, 0.0), dst=0)
+        # Move node 1 far away shortly after the sim starts, while its
+        # first frames are on the air.
+        w.sim.schedule(1_000, lambda: w.medium.update_position(1, (9000.0, 0.0)))
+        w.run(200_000)
+        assert not w.medium.strong_busy(0)
+        assert w.medium.active_transmissions == 0
+
+
+class TestLinearMobility:
+    def test_straight_line_motion(self):
+        w = World()
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (0.0, 0.0), dst=0)
+        LinearMobility(w.sim, w.medium, 1, velocity_mps=(10.0, 0.0),
+                       step_us=100_000)
+        w.sim.run(until=1_000_000)
+        x, y = w.medium.position_of(1)
+        assert x == pytest.approx(10.0, abs=0.01)
+        assert y == 0.0
+
+    def test_stop_freezes(self):
+        w = World()
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (0.0, 0.0), dst=0)
+        mover = LinearMobility(w.sim, w.medium, 1, velocity_mps=(10.0, 0.0))
+        w.sim.schedule(500_000, mover.stop)
+        w.sim.run(until=2_000_000)
+        x, _ = w.medium.position_of(1)
+        assert x <= 5.0
+
+    def test_invalid_step(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            LinearMobility(sim, None, 1, (1.0, 0.0), step_us=0)
+
+
+class TestRandomWaypoint:
+    def test_stays_within_area(self):
+        w = World()
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (100.0, 100.0), dst=0)
+        RandomWaypointMobility(
+            w.sim, w.medium, 1, random.Random(5), area=(500.0, 300.0),
+            min_speed_mps=20.0, max_speed_mps=50.0,
+        )
+        for horizon in range(1, 20):
+            w.sim.run(until=horizon * 500_000)
+            x, y = w.medium.position_of(1)
+            assert -1.0 <= x <= 501.0
+            assert -1.0 <= y <= 301.0
+
+    def test_legs_completed(self):
+        w = World()
+        w.add_receiver(DcfMac, 0, (0.0, 0.0))
+        w.add_sender(DcfMac, 1, (100.0, 100.0), dst=0)
+        mover = RandomWaypointMobility(
+            w.sim, w.medium, 1, random.Random(6), area=(200.0, 200.0),
+            min_speed_mps=50.0, max_speed_mps=50.0,
+        )
+        w.sim.run(until=60_000_000)
+        assert mover.legs_completed > 2
+
+    def test_invalid_speeds(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(sim, None, 1, random.Random(1),
+                                   min_speed_mps=0.0)
+
+
+class TestDriveByCheater:
+    """The motivating scenario: a cheater passes through the cell.
+
+    The modified protocol needs only W=5 packets to diagnose; a
+    drive-by cheater at vehicular speed is still in range for hundreds
+    of packet exchanges, so it must stand diagnosed while in contact.
+    """
+
+    def run_drive_by(self, speed_mps):
+        w = World(seed=51)
+        w.add_receiver(CorrectMac, 0, (0.0, 0.0))
+        w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0)
+        # Cheater starts at the cell edge and crosses the cell.
+        w.add_sender(CorrectMac, 2, (-240.0, 0.0), dst=0,
+                     policy=PartialCountdownPolicy(90.0))
+        LinearMobility(w.sim, w.medium, 2, velocity_mps=(speed_mps, 0.0))
+        w.run(4_000_000)
+        return w
+
+    def test_fast_cheater_still_diagnosed(self):
+        w = self.run_drive_by(speed_mps=30.0)  # crosses ~120 m in 4 s
+        stats = w.collector.flows[2]
+        assert stats.delivered_packets > 50  # still plenty of contact
+        assert stats.diagnosed_packets > 0.5 * stats.delivered_packets
+
+    def test_mobile_honest_sender_not_misdiagnosed(self):
+        w = World(seed=52)
+        w.add_receiver(CorrectMac, 0, (0.0, 0.0))
+        w.add_sender(CorrectMac, 1, (-240.0, 0.0), dst=0)
+        LinearMobility(w.sim, w.medium, 1, velocity_mps=(30.0, 0.0))
+        w.run(4_000_000)
+        stats = w.collector.flows[1]
+        assert stats.delivered_packets > 50
+        assert stats.diagnosed_packets < 0.1 * stats.delivered_packets

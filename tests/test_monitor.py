@@ -1,0 +1,168 @@
+"""Tests for the receiver-side SenderMonitor (protocol core)."""
+
+import random
+
+import pytest
+
+from repro.core.backoff_function import g_assignment, retry_backoff
+from repro.core.monitor import SenderMonitor
+from repro.core.params import ProtocolConfig
+
+
+def make_monitor(**config_kwargs) -> SenderMonitor:
+    cfg = ProtocolConfig(**config_kwargs)
+    return SenderMonitor(sender_id=3, config=cfg, rng=random.Random(1),
+                         receiver_id=0)
+
+
+class TestFirstContact:
+    def test_first_packet_not_checked(self):
+        mon = make_monitor()
+        verdict = mon.on_rts(attempt=1, idle_slots_now=100)
+        assert not verdict.checked
+        assert verdict.deviation is None
+        assert verdict.penalty == 0
+        assert 0 <= verdict.assignment <= 31
+
+    def test_assignment_becomes_current(self):
+        mon = make_monitor()
+        verdict = mon.on_rts(attempt=1, idle_slots_now=100)
+        assert mon.current_assignment == verdict.assignment
+
+
+class TestConformingFlow:
+    def test_exact_wait_never_penalised(self):
+        mon = make_monitor()
+        idle = 0
+        verdict = mon.on_rts(attempt=1, idle_slots_now=idle)
+        for _ in range(20):
+            mon.on_response_sent("ack", attempt=1, idle_slots_now=idle)
+            idle += verdict.assignment  # sender waits exactly
+            verdict = mon.on_rts(attempt=1, idle_slots_now=idle)
+            assert verdict.checked
+            assert not verdict.deviation.deviated
+            assert verdict.penalty == 0
+            assert not verdict.diagnosed
+
+    def test_overwait_not_penalised(self):
+        mon = make_monitor()
+        verdict = mon.on_rts(attempt=1, idle_slots_now=0)
+        mon.on_response_sent("ack", attempt=1, idle_slots_now=0)
+        verdict2 = mon.on_rts(
+            attempt=1, idle_slots_now=verdict.assignment + 50
+        )
+        assert not verdict2.deviation.deviated
+        assert verdict2.deviation.difference < 0
+
+
+class TestCheatingFlow:
+    def test_shortfall_penalised(self):
+        mon = make_monitor(alpha=0.9)
+        verdict = mon.on_rts(attempt=1, idle_slots_now=0)
+        mon.on_response_sent("ack", attempt=1, idle_slots_now=0)
+        waited = max(int(verdict.assignment * 0.5) - 1, 0)
+        verdict2 = mon.on_rts(attempt=1, idle_slots_now=waited)
+        if verdict.assignment >= 10:
+            assert verdict2.deviation.deviated
+            assert verdict2.penalty > 0
+            assert verdict2.assignment >= verdict2.penalty
+
+    def test_persistent_cheat_diagnosed(self):
+        mon = make_monitor(window=5, thresh=20)
+        verdict = mon.on_rts(attempt=1, idle_slots_now=0)
+        idle = 0
+        diagnosed = False
+        for _ in range(12):
+            mon.on_response_sent("ack", attempt=1, idle_slots_now=idle)
+            # waits nothing at all (PM = 100)
+            verdict = mon.on_rts(attempt=1, idle_slots_now=idle)
+            diagnosed = diagnosed or verdict.diagnosed
+        assert diagnosed
+        assert mon.is_misbehaving
+
+    def test_penalty_capped(self):
+        mon = make_monitor(penalty_cap_slots=40)
+        mon.on_rts(attempt=1, idle_slots_now=0)
+        idle = 0
+        for _ in range(20):
+            mon.on_response_sent("ack", attempt=1, idle_slots_now=idle)
+            verdict = mon.on_rts(attempt=1, idle_slots_now=idle)
+        assert verdict.penalty <= 40
+        assert verdict.assignment <= 40 + 31
+
+
+class TestRetransmissionReconstruction:
+    def test_b_exp_includes_retry_stages_after_ack(self):
+        """RTS with attempt 3 after an ACK: stages 1..3 are expected."""
+        mon = make_monitor()
+        v1 = mon.on_rts(attempt=1, idle_slots_now=0)
+        mon.on_response_sent("ack", attempt=1, idle_slots_now=0)
+        assigned = v1.assignment
+        expected = assigned + sum(
+            retry_backoff(assigned, mon.sender_id, i) for i in (2, 3)
+        )
+        v2 = mon.on_rts(attempt=3, idle_slots_now=expected)
+        assert v2.deviation.b_exp == expected
+        assert not v2.deviation.deviated
+
+    def test_b_exp_after_cts_counts_only_new_stages(self):
+        """After a CTS for attempt 2, an RTS(4) expects stages 3..4."""
+        mon = make_monitor()
+        v1 = mon.on_rts(attempt=1, idle_slots_now=0)
+        assigned = v1.assignment
+        mon.on_response_sent("cts", attempt=2, idle_slots_now=10)
+        expected = (
+            retry_backoff(assigned, mon.sender_id, 3)
+            + retry_backoff(assigned, mon.sender_id, 4)
+        )
+        v2 = mon.on_rts(attempt=4, idle_slots_now=10 + expected)
+        assert v2.deviation.b_exp == expected
+        assert v2.deviation.b_act == expected
+        assert not v2.deviation.deviated
+
+    def test_attempt_regression_treated_as_new_packet(self):
+        """Sender dropped its packet and restarted at attempt 1."""
+        mon = make_monitor()
+        v1 = mon.on_rts(attempt=1, idle_slots_now=0)
+        mon.on_response_sent("cts", attempt=5, idle_slots_now=0)
+        v2 = mon.on_rts(attempt=1, idle_slots_now=v1.assignment)
+        # Expected = stage 1 only (fresh packet), measured vs the
+        # current assignment; no crash, sane values.
+        assert v2.deviation.b_exp >= 0
+
+    def test_attempt_zero_rejected(self):
+        mon = make_monitor()
+        with pytest.raises(ValueError):
+            mon.on_rts(attempt=0, idle_slots_now=0)
+
+    def test_bad_response_kind_rejected(self):
+        mon = make_monitor()
+        with pytest.raises(ValueError):
+            mon.on_response_sent("data", attempt=1, idle_slots_now=0)
+
+
+class TestDeterministicG:
+    def test_assignment_base_follows_g(self):
+        mon = SenderMonitor(
+            sender_id=3,
+            config=ProtocolConfig(use_deterministic_g=True),
+            rng=random.Random(2),
+            receiver_id=9,
+        )
+        verdict = mon.on_rts(attempt=1, idle_slots_now=0, seq=17)
+        assert verdict.assignment == g_assignment(9, 3, 17)
+
+    def test_penalty_added_to_g_base(self):
+        cfg = ProtocolConfig(
+            use_deterministic_g=True, extra_penalty_factor=0.0,
+            extra_penalty_slots=10,
+        )
+        mon = SenderMonitor(3, cfg, random.Random(2), receiver_id=9)
+        mon.on_rts(attempt=1, idle_slots_now=0, seq=1)
+        mon.on_response_sent("ack", attempt=1, idle_slots_now=0)
+        verdict = mon.on_rts(attempt=1, idle_slots_now=0, seq=2)
+        base = g_assignment(9, 3, 2)
+        if verdict.deviation.deviated:
+            assert verdict.assignment == base + verdict.penalty
+        else:
+            assert verdict.assignment == base

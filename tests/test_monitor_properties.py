@@ -1,0 +1,140 @@
+"""Property-based tests of the receiver monitor over random traces.
+
+These drive :class:`~repro.core.monitor.SenderMonitor` with randomly
+generated sender behaviours and check the scheme's two safety/liveness
+properties:
+
+* **soundness** — a sender that always waits at least its assignment
+  (plus reconstructed retry stages) is never penalised nor diagnosed,
+  whatever the packet/retry pattern;
+* **completeness** — a sender that persistently waits at most a small
+  fraction of its assignment is diagnosed within a bounded number of
+  packets.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff_function import retry_backoff
+from repro.core.monitor import SenderMonitor
+from repro.core.params import ProtocolConfig
+
+
+def drive_monitor(behaviour, packets, attempts_pattern, extra_wait,
+                  seed=1, config=None):
+    """Feed a monitor a synthetic trace; returns (monitor, verdicts).
+
+    ``behaviour(nominal) -> waited`` maps the conforming wait for a
+    packet (assignment plus any retry stages) to the actual idle slots
+    elapsed at the receiver.
+    """
+    cfg = config or ProtocolConfig()
+    monitor = SenderMonitor(3, cfg, random.Random(seed))
+    verdicts = []
+    idle = 0
+    verdict = monitor.on_rts(1, idle)  # first contact, unchecked
+    monitor.on_response_sent("ack", 1, idle)
+    for index in range(packets):
+        attempt = attempts_pattern[index % len(attempts_pattern)]
+        nominal = verdict.assignment + sum(
+            retry_backoff(verdict.assignment, 3, i)
+            for i in range(2, attempt + 1)
+        )
+        idle += behaviour(nominal) + extra_wait
+        verdict = monitor.on_rts(attempt, idle)
+        verdicts.append(verdict)
+        monitor.on_response_sent("ack", attempt, idle)
+    return monitor, verdicts
+
+
+class TestSoundness:
+    @given(
+        st.integers(min_value=5, max_value=40),
+        st.lists(st.integers(min_value=1, max_value=4), min_size=1,
+                 max_size=4),
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conforming_sender_never_flagged(
+        self, packets, attempts, extra_wait, seed
+    ):
+        monitor, verdicts = drive_monitor(
+            behaviour=lambda nominal: nominal,
+            packets=packets,
+            attempts_pattern=attempts,
+            extra_wait=extra_wait,
+            seed=seed,
+        )
+        assert monitor.deviations_observed == 0
+        assert all(v.penalty == 0 for v in verdicts)
+        assert not monitor.is_misbehaving
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_overwaiting_sender_never_flagged(self, seed):
+        monitor, verdicts = drive_monitor(
+            behaviour=lambda nominal: nominal * 2 + 5,
+            packets=20,
+            attempts_pattern=[1],
+            extra_wait=0,
+            seed=seed,
+        )
+        assert monitor.deviations_observed == 0
+        assert not monitor.is_misbehaving
+
+
+class TestCompleteness:
+    @given(
+        st.floats(min_value=0.0, max_value=0.4),
+        st.integers(min_value=0, max_value=2 ** 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_persistent_cheater_diagnosed_quickly(self, fraction, seed):
+        """Waiting <= 40% of the requirement must trip W=5/THRESH=20
+        within a handful of packets."""
+        monitor, verdicts = drive_monitor(
+            behaviour=lambda nominal: int(nominal * fraction),
+            packets=15,
+            attempts_pattern=[1],
+            extra_wait=0,
+            seed=seed,
+        )
+        assert monitor.is_misbehaving
+        first_flagged = next(
+            (i for i, v in enumerate(verdicts) if v.diagnosed), None
+        )
+        assert first_flagged is not None
+        assert first_flagged <= 10
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_cheater_penalties_grow_assignments(self, seed):
+        monitor, verdicts = drive_monitor(
+            behaviour=lambda nominal: 0,
+            packets=10,
+            attempts_pattern=[1],
+            extra_wait=0,
+            seed=seed,
+        )
+        assignments = [v.assignment for v in verdicts]
+        # Later assignments dwarf the honest [0, 31] range.
+        assert max(assignments[3:]) > 31
+
+
+class TestPenaltyBoundedness:
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=20, deadline=None)
+    def test_cap_bounds_assignment_growth(self, seed):
+        cfg = ProtocolConfig(penalty_cap_slots=100)
+        monitor, verdicts = drive_monitor(
+            behaviour=lambda nominal: 0,
+            packets=30,
+            attempts_pattern=[1],
+            extra_wait=0,
+            seed=seed,
+            config=cfg,
+        )
+        assert all(v.assignment <= 100 + cfg.cw_min for v in verdicts)

@@ -1,0 +1,98 @@
+"""Third-party observation: independent diagnosis and collusion detection."""
+
+import pytest
+
+from repro.core.params import ProtocolConfig
+from repro.core.sender_policy import PartialCountdownPolicy
+from repro.mac.correct import CorrectMac
+from repro.mac.observer import ObserverMac
+
+from tests.conftest import World
+
+#: A receiver that colludes by never perceiving deviations: alpha so
+#: permissive that equation 1 never fires, hence no penalties and no
+#: diagnosis, while the wire protocol stays unchanged.
+COLLUDING_CONFIG = ProtocolConfig(alpha=0.01)
+
+
+def observed_world(receiver_config, cheat_pm, seed=81):
+    """Sender 1 (possibly cheating) -> receiver 0, honest sender 2,
+    with observer 9 placed near the pair."""
+    w = World(seed=seed)
+    w.add_receiver(CorrectMac, 0, (0.0, 0.0), config=receiver_config)
+    policy = PartialCountdownPolicy(cheat_pm) if cheat_pm else None
+    kwargs = {"policy": policy} if policy else {}
+    w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0, **kwargs)
+    w.add_sender(CorrectMac, 2, (-150.0, 0.0), dst=0)
+    w.add_receiver(ObserverMac, 9, (30.0, 30.0), watch=((1, 0), (2, 0)))
+    return w
+
+
+def observer_of(w):
+    return next(n.mac for n in w.nodes if isinstance(n.mac, ObserverMac))
+
+
+class TestIndependentDiagnosis:
+    def test_observer_sees_honest_pair_as_clean(self):
+        w = observed_world(ProtocolConfig(), cheat_pm=0.0)
+        w.run(2_000_000)
+        obs = observer_of(w)
+        assert obs.pairs[(1, 0)].packets > 100
+        assert not obs.sender_misbehaving(1, 0)
+        assert not obs.colluding(1, 0)
+
+    def test_observer_diagnoses_cheater_independently(self):
+        w = observed_world(ProtocolConfig(), cheat_pm=80.0)
+        w.run(2_000_000)
+        obs = observer_of(w)
+        assert obs.sender_misbehaving(1, 0)
+        assert obs.pairs[(1, 0)].deviations > 20
+
+    def test_watch_list_filters_pairs(self):
+        w = World(seed=82)
+        w.add_receiver(CorrectMac, 0, (0.0, 0.0))
+        w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0)
+        w.add_receiver(ObserverMac, 9, (30.0, 30.0), watch=((7, 8),))
+        w.run(500_000)
+        obs = observer_of(w)
+        assert obs.pairs == {}
+
+
+class TestCollusionDetection:
+    def test_honest_receiver_not_flagged_as_colluding(self):
+        """An honest receiver penalises the cheater, so even though
+        the sender misbehaves, the pair is not colluding."""
+        w = observed_world(ProtocolConfig(), cheat_pm=80.0)
+        w.run(3_000_000)
+        obs = observer_of(w)
+        assert obs.sender_misbehaving(1, 0)
+        assert not obs.colluding(1, 0)
+
+    def test_colluding_pair_flagged(self):
+        """A receiver that never penalises its cheating sender is
+        exposed: the observer sees deviations with no corrective
+        assignments."""
+        w = observed_world(COLLUDING_CONFIG, cheat_pm=80.0)
+        w.run(3_000_000)
+        obs = observer_of(w)
+        pair = obs.pairs[(1, 0)]
+        assert pair.deviations >= obs.min_evidence
+        assert obs.colluding(1, 0)
+
+    def test_collusion_pays_without_observer_action(self):
+        """Sanity: collusion is worth detecting — the covered cheater
+        out-earns the honest sender."""
+        w = observed_world(COLLUDING_CONFIG, cheat_pm=80.0)
+        w.run(3_000_000)
+        cheat = w.collector.throughput_bps(1, 3_000_000)
+        honest = w.collector.throughput_bps(2, 3_000_000)
+        assert cheat > 1.5 * honest
+
+    def test_report_structure(self):
+        w = observed_world(COLLUDING_CONFIG, cheat_pm=80.0)
+        w.run(1_500_000)
+        report = observer_of(w).report()
+        assert (1, 0) in report
+        entry = report[(1, 0)]
+        assert {"packets", "deviations", "unpenalised_deviations",
+                "sender_misbehaving", "colluding"} <= set(entry)

@@ -1,0 +1,55 @@
+"""Behaviour below saturation: CBR flows that do not fill the channel.
+
+The TWO-FLOW interferers are 500 Kbps CBR flows; these tests check the
+unsaturated regime works: goodput tracks offered load, queues stay
+shallow, and delays stay near one exchange time.
+"""
+
+import pytest
+
+from repro.mac.dcf import DcfMac
+from repro.net.node import build_node
+from repro.net.traffic import CbrSource
+
+from tests.conftest import World
+
+
+def cbr_world(rate_bps, seconds=2, seed=31):
+    w = World(seed=seed)
+    w.add_receiver(DcfMac, 0, (0.0, 0.0))
+    mac = DcfMac(w.sim, w.medium, 1, w.registry, w.collector,
+                 payload_bytes=512)
+    source = CbrSource(w.sim, dst=0, rate_bps=rate_bps, payload_bytes=512)
+    node = build_node(w.medium, mac, (150.0, 0.0), source)
+    w.nodes.append(node)
+    w.run(seconds * 1_000_000)
+    return w, source
+
+
+class TestUnsaturated:
+    def test_goodput_matches_offered_load(self):
+        w, _ = cbr_world(rate_bps=500_000)
+        goodput = w.collector.throughput_bps(1, 2_000_000)
+        assert goodput == pytest.approx(500_000, rel=0.05)
+
+    def test_queue_stays_shallow(self):
+        _, source = cbr_world(rate_bps=500_000)
+        assert source.queue_depth <= 2
+        assert source.source_drops == 0
+
+    def test_delay_near_single_exchange(self):
+        w, _ = cbr_world(rate_bps=200_000)
+        delay = w.collector.mean_delay_us(1)
+        # One uncontended exchange: ~3 ms; unsaturated flow should be
+        # close to that, far below queueing-dominated delays.
+        assert delay < 8_000
+
+    def test_overload_drops_at_source(self):
+        # 3 Mbps offered on a 2 Mbps channel: the queue caps and drops.
+        _, source = cbr_world(rate_bps=3_000_000)
+        assert source.source_drops > 0
+
+    def test_goodput_saturates_at_mac_capacity(self):
+        w, _ = cbr_world(rate_bps=3_000_000)
+        goodput = w.collector.throughput_bps(1, 2_000_000)
+        assert 900_000 < goodput < 1_500_000

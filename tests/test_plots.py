@@ -1,0 +1,63 @@
+"""Tests for the ASCII figure plotter."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plots import MARKERS, render_plot
+
+
+def sample_figure():
+    fig = FigureResult("figX", "Sample", "PM", "Kbps")
+    fig.add_point("up", 0.0, 0.0)
+    fig.add_point("up", 50.0, 50.0)
+    fig.add_point("up", 100.0, 100.0)
+    fig.add_point("down", 0.0, 100.0)
+    fig.add_point("down", 50.0, 50.0)
+    fig.add_point("down", 100.0, 0.0)
+    return fig
+
+
+class TestRenderPlot:
+    def test_contains_title_axes_and_legend(self):
+        text = render_plot(sample_figure())
+        assert "figX: Sample" in text
+        assert "x: PM" in text
+        assert "y: Kbps" in text
+        assert "= up" in text
+        assert "= down" in text
+
+    def test_markers_assigned_in_order(self):
+        text = render_plot(sample_figure())
+        assert f"{MARKERS[0]} = up" in text
+        assert f"{MARKERS[1]} = down" in text
+
+    def test_extreme_points_land_on_borders(self):
+        fig = sample_figure()
+        text = render_plot(fig, width=40, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 10
+        top, bottom = rows[0], rows[-1]
+        # "up" peaks at the top-right; "down" starts at the top-left.
+        assert top.rstrip().endswith(MARKERS[0])
+        assert MARKERS[1] in top
+        assert MARKERS[0] in bottom or MARKERS[1] in bottom
+
+    def test_empty_figure(self):
+        fig = FigureResult("e", "Empty", "x", "y")
+        assert "no data" in render_plot(fig)
+
+    def test_flat_series_does_not_crash(self):
+        fig = FigureResult("f", "Flat", "x", "y")
+        for x in (0.0, 1.0, 2.0):
+            fig.add_point("c", x, 5.0)
+        text = render_plot(fig)
+        assert "c" in text
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            render_plot(sample_figure(), width=4, height=2)
+
+    def test_y_axis_labels_show_range(self):
+        text = render_plot(sample_figure())
+        assert "100" in text
+        assert "0" in text

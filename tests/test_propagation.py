@@ -1,0 +1,138 @@
+"""Unit and property tests for the shadowing propagation model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy.propagation import (
+    LinkProbabilities,
+    ShadowingModel,
+    distance,
+    normal_cdf,
+    normal_quantile,
+)
+
+
+class TestNormalHelpers:
+    def test_cdf_at_zero(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_cdf_symmetry(self):
+        assert normal_cdf(1.3) + normal_cdf(-1.3) == pytest.approx(1.0)
+
+    def test_cdf_known_value(self):
+        assert normal_cdf(1.959964) == pytest.approx(0.975, abs=1e-4)
+
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=100)
+    def test_quantile_inverts_cdf(self, p):
+        assert normal_cdf(normal_quantile(p)) == pytest.approx(p, abs=1e-6)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            normal_quantile(0.0)
+        with pytest.raises(ValueError):
+            normal_quantile(1.0)
+
+
+class TestCalibration:
+    """The paper's two calibration points pin the thresholds."""
+
+    def test_receive_probability_is_half_at_250m(self):
+        model = ShadowingModel()
+        assert model.receive_probability(250.0) == pytest.approx(0.5)
+
+    def test_sense_probability_is_half_at_550m(self):
+        model = ShadowingModel()
+        assert model.sense_probability(550.0) == pytest.approx(0.5)
+
+    def test_receive_nearly_sure_at_150m(self):
+        # The circle senders sit 150 m from R: effectively reliable.
+        model = ShadowingModel()
+        assert model.receive_probability(150.0) > 0.9999
+
+    def test_sense_rare_at_650m(self):
+        # The far interferer from the far side of the circle.
+        model = ShadowingModel()
+        assert model.sense_probability(650.0) < 0.10
+
+    def test_interferer_sensed_strongly_at_receiver(self):
+        # A at 500 m from R: "sensed with high probability by R".
+        model = ShadowingModel()
+        assert 0.7 < model.sense_probability(500.0) < 0.9
+
+
+class TestMonotonicity:
+    @given(st.floats(min_value=1.0, max_value=2000.0),
+           st.floats(min_value=1.0, max_value=2000.0))
+    @settings(max_examples=100)
+    def test_probabilities_decrease_with_distance(self, d1, d2):
+        model = ShadowingModel()
+        lo, hi = sorted((d1, d2))
+        assert model.receive_probability(lo) >= model.receive_probability(hi)
+        assert model.sense_probability(lo) >= model.sense_probability(hi)
+
+    @given(st.floats(min_value=1.0, max_value=5000.0))
+    @settings(max_examples=100)
+    def test_sense_at_least_receive(self, d):
+        # Carrier sensing is strictly more permissive than decoding.
+        model = ShadowingModel()
+        assert model.sense_probability(d) >= model.receive_probability(d)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowingModel().mean_path_gain_db(0.0)
+
+
+class TestZeroSigma:
+    """sigma = 0 degenerates to deterministic range thresholds."""
+
+    def test_step_function(self):
+        model = ShadowingModel(sigma_db=0.0)
+        assert model.receive_probability(249.0) == 1.0
+        assert model.receive_probability(251.0) == 0.0
+        assert model.sense_probability(549.0) == 1.0
+        assert model.sense_probability(551.0) == 0.0
+
+
+class TestClassification:
+    def test_strong_marginal_negligible(self):
+        model = ShadowingModel()
+        assert model.link(100.0).classify() == "strong"
+        assert model.link(550.0).classify() == "marginal"
+        assert model.link(5000.0).classify() == "negligible"
+
+    def test_classify_boundaries_consistent(self):
+        eps = LinkProbabilities.EPS
+        strong = LinkProbabilities(1.0, 1.0, 1.0)
+        assert strong.classify() == "strong"
+        negligible = LinkProbabilities(1.0, 0.0, eps / 2)
+        assert negligible.classify() == "negligible"
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    @given(
+        st.tuples(st.floats(-1e4, 1e4), st.floats(-1e4, 1e4)),
+        st.tuples(st.floats(-1e4, 1e4), st.floats(-1e4, 1e4)),
+    )
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+
+class TestPathLossExponent:
+    def test_beta_two_free_space(self):
+        model = ShadowingModel(path_loss_exponent=2.0)
+        # Doubling the distance costs 6.02 dB at beta=2.
+        delta = model.mean_path_gain_db(100.0) - model.mean_path_gain_db(200.0)
+        assert delta == pytest.approx(20.0 * math.log10(2.0), abs=1e-9)
+
+    def test_higher_beta_decays_faster(self):
+        free = ShadowingModel(path_loss_exponent=2.0)
+        urban = ShadowingModel(path_loss_exponent=4.0)
+        assert urban.mean_path_gain_db(300.0) < free.mean_path_gain_db(300.0)

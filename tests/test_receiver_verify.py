@@ -1,0 +1,62 @@
+"""Tests for sender-side receiver auditing via g (Section 4.4)."""
+
+import pytest
+
+from repro.core.backoff_function import g_assignment
+from repro.core.receiver_verify import ReceiverAuditor
+
+
+class TestReceiverAudit:
+    def test_honest_assignment_passes(self):
+        auditor = ReceiverAuditor(receiver_id=0, sender_id=3)
+        honest = g_assignment(0, 3, 0)
+        verdict = auditor.check_assignment(honest)
+        assert not verdict.receiver_misbehaving
+        assert verdict.corrected_backoff == honest
+
+    def test_assignment_with_penalty_passes(self):
+        """Penalties only add, so above-g values are legitimate."""
+        auditor = ReceiverAuditor(0, 3)
+        honest = g_assignment(0, 3, 0)
+        verdict = auditor.check_assignment(honest + 25)
+        assert not verdict.receiver_misbehaving
+
+    def test_under_assignment_flagged_and_corrected(self):
+        auditor = ReceiverAuditor(0, 3)
+        # Find a counter whose honest value is positive.
+        counter = next(c for c in range(50) if g_assignment(0, 3, c) > 0)
+        auditor._packet_counter = counter
+        honest = g_assignment(0, 3, counter)
+        verdict = auditor.check_assignment(honest - 1)
+        assert verdict.receiver_misbehaving
+        assert verdict.corrected_backoff == honest
+        assert auditor.violations == 1
+
+    def test_counter_advances_per_check(self):
+        auditor = ReceiverAuditor(0, 3)
+        auditor.check_assignment(100)
+        auditor.check_assignment(100)
+        assert auditor.packets_audited == 2
+
+    def test_explicit_counter_keying(self):
+        """Sequence-number keying keeps both ends aligned under loss."""
+        auditor = ReceiverAuditor(0, 3)
+        honest_for_seq9 = g_assignment(0, 3, 9)
+        verdict = auditor.check_assignment(honest_for_seq9, counter=9)
+        assert not verdict.receiver_misbehaving
+        assert verdict.honest_minimum == honest_for_seq9
+
+    def test_negative_assignment_rejected(self):
+        auditor = ReceiverAuditor(0, 3)
+        with pytest.raises(ValueError):
+            auditor.check_assignment(-1)
+
+    def test_cheating_receiver_detected_over_sequence(self):
+        """A receiver always assigning 0 is caught quickly."""
+        auditor = ReceiverAuditor(0, 3)
+        flagged = sum(
+            auditor.check_assignment(0).receiver_misbehaving
+            for _ in range(64)
+        )
+        # g is roughly uniform on [0, 31]; ~97% of zeros violate it.
+        assert flagged > 48

@@ -1,0 +1,122 @@
+"""Tests for scenario assembly, determinism and the multi-seed runner."""
+
+import pytest
+
+from repro.experiments.runner import run_configs, run_seeds
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    build_scenario,
+    run_scenario,
+)
+from repro.net.topology import circle_topology
+
+SHORT = 600_000  # 0.6 s keeps these tests quick
+
+
+def config(protocol=PROTOCOL_CORRECT, pm=0.0, **kwargs):
+    topo = circle_topology(
+        4, misbehaving=(3,) if pm else (), pm_percent=pm
+    )
+    return ScenarioConfig(
+        topology=topo, protocol=protocol, duration_us=SHORT, seed=1, **kwargs
+    )
+
+
+class TestBuild:
+    def test_build_creates_all_nodes(self):
+        sim, nodes, collector = build_scenario(config())
+        assert len(nodes) == 5  # receiver + 4 senders
+
+    def test_senders_preregistered_in_collector(self):
+        _, _, collector = build_scenario(config())
+        assert set(collector.flows) == {1, 2, 3, 4}
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            run_scenario(config(protocol="aloha"))
+
+    def test_interferers_not_measured(self):
+        topo = circle_topology(2, with_interferers=True)
+        cfg = ScenarioConfig(topology=topo, duration_us=SHORT, seed=1)
+        _, _, collector = build_scenario(cfg)
+        assert collector.measured_senders == {1, 2}
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = run_scenario(config(pm=50.0))
+        b = run_scenario(config(pm=50.0))
+        assert a.events_processed == b.events_processed
+        assert a.throughputs() == b.throughputs()
+        assert a.correct_diagnosis_percent == b.correct_diagnosis_percent
+
+    def test_different_seeds_differ(self):
+        a = run_scenario(config())
+        b = run_scenario(config().with_seed(2))
+        assert a.throughputs() != b.throughputs()
+
+    def test_with_seed_preserves_everything_else(self):
+        base = config()
+        reseeded = base.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.topology is base.topology
+        assert reseeded.duration_us == base.duration_us
+
+
+class TestRunResult:
+    def test_metrics_exposed(self):
+        result = run_scenario(config(pm=100.0))
+        assert result.duration_us == SHORT
+        assert 0.0 <= result.fairness_index <= 1.0
+        assert result.msb_throughput_bps > 0
+        assert result.correct_diagnosis_percent > 50.0
+
+    def test_honest_run_has_no_msb(self):
+        result = run_scenario(config(pm=0.0))
+        assert result.msb_throughput_bps == 0.0
+        assert result.avg_throughput_bps > 0
+
+
+class TestRunner:
+    def test_run_seeds_sequential_order(self):
+        results = run_seeds(config(), seeds=(1, 2, 3), workers=1)
+        assert [r.config.seed for r in results] == [1, 2, 3]
+
+    def test_run_seeds_parallel_matches_sequential(self):
+        seq = run_seeds(config(), seeds=(1, 2), workers=1)
+        par = run_seeds(config(), seeds=(1, 2), workers=2)
+        for a, b in zip(seq, par):
+            assert a.throughputs() == b.throughputs()
+
+    def test_run_seeds_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_seeds(config(), seeds=())
+
+    def test_run_configs_heterogeneous(self):
+        configs = [config(), config(protocol=PROTOCOL_80211)]
+        results = run_configs(configs, workers=1)
+        assert results[0].config.protocol == PROTOCOL_CORRECT
+        assert results[1].config.protocol == PROTOCOL_80211
+
+    def test_run_configs_empty_rejected(self):
+        with pytest.raises(ValueError):
+            run_configs([])
+
+
+class TestProtocolDifferences:
+    def test_cheater_restrained_only_under_correct(self):
+        r_80211 = run_scenario(
+            config(protocol=PROTOCOL_80211, pm=80.0).with_seed(3)
+        )
+        r_correct = run_scenario(
+            config(protocol=PROTOCOL_CORRECT, pm=80.0).with_seed(3)
+        )
+        gain_80211 = r_80211.msb_throughput_bps / max(
+            r_80211.avg_throughput_bps, 1.0
+        )
+        gain_correct = r_correct.msb_throughput_bps / max(
+            r_correct.avg_throughput_bps, 1.0
+        )
+        assert gain_80211 > gain_correct

@@ -1,0 +1,120 @@
+"""Tests for sender (mis)behaviour policies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sender_policy import (
+    AttemptLyingPolicy,
+    ConformingPolicy,
+    NoDoublingPolicy,
+    PartialCountdownPolicy,
+    ShrunkenWindowPolicy,
+    policy_for_pm,
+)
+
+
+class TestConforming:
+    def test_counts_everything(self):
+        p = ConformingPolicy()
+        assert p.effective_countdown(17) == 17
+        assert not p.misbehaving
+
+    def test_selects_within_window(self):
+        p = ConformingPolicy()
+        rng = random.Random(1)
+        assert all(0 <= p.select_backoff(rng, 31) <= 31 for _ in range(100))
+
+    def test_standard_cw_schedule(self):
+        p = ConformingPolicy()
+        assert p.next_contention_window(1) == 31
+        assert p.next_contention_window(3) == 127
+
+    def test_honest_attempt(self):
+        assert ConformingPolicy().reported_attempt(4) == 4
+
+
+class TestPartialCountdown:
+    def test_paper_semantics(self):
+        """PM = x counts down (100 - x)% of the assigned value."""
+        p = PartialCountdownPolicy(40.0)
+        assert p.effective_countdown(20) == 12
+
+    def test_pm_zero_is_conforming_countdown(self):
+        assert PartialCountdownPolicy(0.0).effective_countdown(20) == 20
+
+    def test_pm_hundred_counts_nothing(self):
+        assert PartialCountdownPolicy(100.0).effective_countdown(500) == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            PartialCountdownPolicy(-1.0)
+        with pytest.raises(ValueError):
+            PartialCountdownPolicy(101.0)
+
+    def test_flagged_as_misbehaving(self):
+        assert PartialCountdownPolicy(50.0).misbehaving
+
+    @given(
+        st.floats(min_value=0.0, max_value=100.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100)
+    def test_never_exceeds_nominal(self, pm, nominal):
+        p = PartialCountdownPolicy(pm)
+        effective = p.effective_countdown(nominal)
+        assert 0 <= effective <= nominal
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_monotone_in_pm(self, nominal):
+        mild = PartialCountdownPolicy(20.0).effective_countdown(nominal)
+        severe = PartialCountdownPolicy(80.0).effective_countdown(nominal)
+        assert severe <= mild
+
+
+class TestShrunkenWindow:
+    def test_selects_from_quarter_window(self):
+        p = ShrunkenWindowPolicy(4.0)
+        rng = random.Random(2)
+        values = [p.select_backoff(rng, 31) for _ in range(200)]
+        assert max(values) <= 7
+        assert p.misbehaving
+
+    def test_divisor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ShrunkenWindowPolicy(0.5)
+
+    def test_countdown_still_full(self):
+        assert ShrunkenWindowPolicy(4.0).effective_countdown(10) == 10
+
+
+class TestNoDoubling:
+    def test_cw_pinned_to_minimum(self):
+        p = NoDoublingPolicy()
+        assert p.next_contention_window(1) == 31
+        assert p.next_contention_window(5) == 31
+        assert p.misbehaving
+
+
+class TestAttemptLying:
+    def test_always_reports_one(self):
+        p = AttemptLyingPolicy(50.0)
+        assert p.reported_attempt(1) == 1
+        assert p.reported_attempt(6) == 1
+
+    def test_also_shortens_countdown(self):
+        assert AttemptLyingPolicy(50.0).effective_countdown(20) == 10
+
+
+class TestFactory:
+    def test_zero_pm_gives_conforming(self):
+        assert isinstance(policy_for_pm(0.0), ConformingPolicy)
+        assert not policy_for_pm(0.0).misbehaving
+
+    def test_positive_pm_gives_partial_countdown(self):
+        p = policy_for_pm(60.0)
+        assert isinstance(p, PartialCountdownPolicy)
+        assert p.pm_percent == 60.0

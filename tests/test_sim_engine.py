@@ -1,0 +1,183 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_single_event_fires_at_time(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [100]
+
+    def test_zero_delay_allowed(self, sim):
+        fired = []
+        sim.schedule(0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(250, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [250]
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert sim.now == 100
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(300, lambda: order.append("c"))
+        sim.schedule(100, lambda: order.append("a"))
+        sim.schedule(200, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.schedule(50, lambda tag=tag: order.append(tag))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_nested_scheduling_from_callback(self, sim):
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(10, lambda: fired.append(("inner", sim.now)))
+
+        sim.schedule(5, outer)
+        sim.run()
+        assert fired == [("outer", 5), ("inner", 15)]
+
+    def test_nested_zero_delay_fires_same_timestamp(self, sim):
+        fired = []
+
+        def outer():
+            sim.schedule(0, lambda: fired.append(sim.now))
+
+        sim.schedule(7, outer)
+        sim.run()
+        assert fired == [7]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(100, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(100, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+        assert not handle.pending
+
+    def test_pending_transitions(self, sim):
+        handle = sim.schedule(100, lambda: None)
+        assert handle.pending
+        sim.run()
+        assert not handle.pending
+        assert handle.fired
+
+    def test_cancel_one_of_several(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append("keep1"))
+        victim = sim.schedule(10, lambda: fired.append("victim"))
+        sim.schedule(10, lambda: fired.append("keep2"))
+        victim.cancel()
+        sim.run()
+        assert fired == ["keep1", "keep2"]
+
+
+class TestHorizon:
+    def test_run_until_stops_before_late_events(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append("early"))
+        sim.schedule(900, lambda: fired.append("late"))
+        sim.run(until=500)
+        assert fired == ["early"]
+        assert sim.now == 500
+
+    def test_clock_advances_to_horizon_when_queue_drains(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run(until=1_000_000)
+        assert sim.now == 1_000_000
+
+    def test_event_exactly_at_horizon_fires(self, sim):
+        fired = []
+        sim.schedule(500, lambda: fired.append(1))
+        sim.run(until=500)
+        assert fired == [1]
+
+    def test_resume_after_horizon(self, sim):
+        fired = []
+        sim.schedule(900, lambda: fired.append(sim.now))
+        sim.run(until=500)
+        sim.run(until=1000)
+        assert fired == [900]
+
+    def test_default_horizon_from_constructor(self):
+        sim = Simulator(until=50)
+        fired = []
+        sim.schedule(100, lambda: fired.append(1))
+        sim.run()
+        assert fired == []
+        assert sim.now == 50
+
+
+class TestStopAndIntrospection:
+    def test_stop_halts_processing(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(10, stopper)
+        sim.schedule(20, lambda: fired.append("never"))
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_peek_returns_next_time(self, sim):
+        sim.schedule(30, lambda: None)
+        sim.schedule(10, lambda: None)
+        assert sim.peek() == 10
+
+    def test_peek_skips_cancelled(self, sim):
+        first = sim.schedule(10, lambda: None)
+        sim.schedule(30, lambda: None)
+        first.cancel()
+        assert sim.peek() == 30
+
+    def test_peek_empty_returns_none(self, sim):
+        assert sim.peek() is None
+
+    def test_events_processed_counts_fired_only(self, sim):
+        sim.schedule(10, lambda: None)
+        cancelled = sim.schedule(20, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_reentrant_run_rejected(self, sim):
+        def recurse():
+            sim.run()
+
+        sim.schedule(1, recurse)
+        with pytest.raises(SimulationError):
+            sim.run()

@@ -1,0 +1,94 @@
+"""Property-based invariants of the full simulation.
+
+These run many tiny simulations with hypothesis-chosen parameters and
+check global properties that must hold regardless of topology, seed or
+misbehavior: conservation (you cannot deliver more than the channel
+can carry), determinism, and bounded metrics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.net.topology import circle_topology
+from repro.phy.constants import CHANNEL_BIT_RATE
+
+TINY_DURATION = 400_000  # 0.4 s per hypothesis example
+
+
+def tiny_config(n, pm, seed, protocol):
+    topo = circle_topology(
+        n, misbehaving=(1,) if pm > 0 else (), pm_percent=pm
+    )
+    return ScenarioConfig(
+        topology=topo, protocol=protocol,
+        duration_us=TINY_DURATION, seed=seed,
+    )
+
+
+class TestConservation:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from([0.0, 50.0, 100.0]),
+        st.integers(min_value=1, max_value=50),
+        st.sampled_from([PROTOCOL_80211, PROTOCOL_CORRECT]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_goodput_bounded_by_channel_rate(self, n, pm, seed, protocol):
+        result = run_scenario(tiny_config(n, pm, seed, protocol))
+        total = sum(result.throughputs().values())
+        assert total <= CHANNEL_BIT_RATE
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_metrics_within_ranges(self, n, seed):
+        result = run_scenario(tiny_config(n, 100.0, seed, PROTOCOL_CORRECT))
+        assert 0.0 <= result.correct_diagnosis_percent <= 100.0
+        assert 0.0 <= result.misdiagnosis_percent <= 100.0
+        assert 0.0 < result.fairness_index <= 1.0
+
+
+class TestDeterminism:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.sampled_from([0.0, 70.0]),
+        st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_rerun_is_bit_identical(self, n, pm, seed):
+        a = run_scenario(tiny_config(n, pm, seed, PROTOCOL_CORRECT))
+        b = run_scenario(tiny_config(n, pm, seed, PROTOCOL_CORRECT))
+        assert a.events_processed == b.events_processed
+        assert a.throughputs() == b.throughputs()
+        assert len(a.collector.deliveries) == len(b.collector.deliveries)
+
+
+class TestAccountingConsistency:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=1, max_value=25),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_sender_and_receiver_counts_agree(self, n, seed):
+        """Every receiver-counted delivery has a sender-side ACK, give
+        or take the final in-flight exchange."""
+        from repro.experiments.scenarios import build_scenario
+
+        config = tiny_config(n, 0.0, seed, PROTOCOL_CORRECT)
+        sim, nodes, collector = build_scenario(config)
+        for node in nodes:
+            node.start()
+        sim.run(until=config.duration_us)
+        delivered = sum(s.delivered_packets for s in collector.flows.values())
+        acked = sum(s.acked_packets for s in collector.flows.values())
+        # ACKs can trail deliveries by at most the number of senders
+        # (one in-flight exchange each at the horizon).
+        assert 0 <= delivered - acked <= n

@@ -1,0 +1,101 @@
+"""Tests for the adaptive adversaries and the paper's resistance claims."""
+
+import pytest
+
+from repro.core.smart_cheaters import (
+    PenaltyRespectingCheaterPolicy,
+    ThresholdAwareCheaterPolicy,
+)
+from repro.mac.correct import CorrectMac
+
+from tests.conftest import World
+
+
+class TestThresholdAwarePolicyUnit:
+    def test_cheats_when_window_cold(self):
+        policy = ThresholdAwareCheaterPolicy(pm_percent=50.0, thresh=20.0)
+        assert policy.effective_countdown(20) == 10
+        assert policy.cheated_countdowns == 1
+
+    def test_cheating_capped_by_headroom(self):
+        policy = ThresholdAwareCheaterPolicy(
+            pm_percent=100.0, window=5, thresh=20.0, safety_margin=0.0
+        )
+        waits = [policy.effective_countdown(30) for _ in range(3)]
+        # First packet: cheat limited to the THRESH headroom (20 of 30
+        # desired slots), then the window is full: honest waits.
+        assert waits[0] == 10
+        assert waits[1] == 30
+        assert waits[2] == 30
+        assert sum(policy._diffs) <= 20.0
+
+    def test_window_cools_down(self):
+        policy = ThresholdAwareCheaterPolicy(
+            pm_percent=100.0, window=2, thresh=10.0, safety_margin=0.0
+        )
+        for _ in range(5):
+            policy.effective_countdown(15)
+        # With window 2, every other packet regains headroom.
+        assert policy.cheated_countdowns >= 2
+
+    def test_estimated_sum_never_exceeds_thresh(self):
+        policy = ThresholdAwareCheaterPolicy(
+            pm_percent=100.0, window=5, thresh=20.0, safety_margin=4.0
+        )
+        for nominal in (10, 40, 7, 100, 3, 55, 20, 20, 20):
+            policy.effective_countdown(nominal)
+            assert sum(policy._diffs) <= 20.0 - 4.0 + 1e-9
+
+    def test_invalid_pm(self):
+        with pytest.raises(ValueError):
+            ThresholdAwareCheaterPolicy(pm_percent=150.0)
+
+
+class TestPenaltyRespectingPolicyUnit:
+    def test_base_shaved_penalty_served(self):
+        policy = PenaltyRespectingCheaterPolicy(pm_percent=50.0, cw_min=31)
+        # assignment 81 = 31 base (max) + 50 penalty:
+        assert policy.effective_countdown(81) == 50 + 16
+        assert policy.penalty_slots_served == 50
+
+    def test_no_penalty_behaves_like_pm(self):
+        policy = PenaltyRespectingCheaterPolicy(pm_percent=50.0, cw_min=31)
+        assert policy.effective_countdown(20) == 10
+
+    def test_invalid_pm(self):
+        with pytest.raises(ValueError):
+            PenaltyRespectingCheaterPolicy(pm_percent=-1.0)
+
+
+def contention_world(policy, seed=33):
+    w = World(seed=seed)
+    w.add_receiver(CorrectMac, 0, (0.0, 0.0))
+    w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0)
+    w.add_sender(CorrectMac, 2, (-150.0, 0.0), dst=0)
+    w.add_sender(CorrectMac, 3, (0.0, 150.0), dst=0, policy=policy)
+    w.run(4_000_000)
+    honest = (w.collector.throughput_bps(1, 4_000_000)
+              + w.collector.throughput_bps(2, 4_000_000)) / 2
+    cheat = w.collector.throughput_bps(3, 4_000_000)
+    return w, honest, cheat
+
+
+class TestPaperResistanceClaims:
+    def test_threshold_aware_cheater_gains_little(self):
+        """Adapting to W/THRESH dodges diagnosis, not penalties."""
+        policy = ThresholdAwareCheaterPolicy(pm_percent=80.0)
+        w, honest, cheat = contention_world(policy)
+        # It escapes standing diagnosed most of the time...
+        stats = w.collector.flows[3]
+        assert stats.diagnosed_packets < stats.delivered_packets * 0.5
+        # ...but penalties still land on every perceived deviation,
+        # keeping its throughput near fair share.
+        assert stats.penalty_slots > 0
+        assert cheat < 1.4 * honest
+
+    def test_penalty_respecting_cheater_gains_little(self):
+        """Serving penalties caps the achievable advantage (Sec. 3.2)."""
+        policy = PenaltyRespectingCheaterPolicy(pm_percent=80.0)
+        w, honest, cheat = contention_world(policy)
+        assert policy.penalty_slots_served > 0
+        assert cheat < 1.4 * honest

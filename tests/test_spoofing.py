@@ -1,0 +1,125 @@
+"""Address-spoofing misbehavior and the authentication countermeasure."""
+
+import pytest
+
+from repro.core.sender_policy import PartialCountdownPolicy
+from repro.mac.correct import CorrectMac
+from repro.mac.spoofing import AuthenticatingReceiverMac, SpoofingSenderMac
+
+from tests.conftest import World
+
+ALIASES = (201, 202, 203, 204, 205, 206)
+
+
+def cheater_throughput(w, duration_us):
+    """The spoofer's goodput is recorded under its alias addresses."""
+    return sum(
+        w.collector.throughput_bps(alias, duration_us)
+        for alias in ALIASES + (3,)
+    )
+
+
+def spoofing_world(authenticated: bool, seed: int = 71):
+    """One spoofing cheater vs two honest senders at a CORRECT AP."""
+    resolver = (lambda addr: 3 if addr in ALIASES else addr) if authenticated \
+        else None
+    w = World(seed=seed)
+    w.add_receiver(
+        AuthenticatingReceiverMac, 0, (0.0, 0.0),
+        identity_resolver=resolver,
+    )
+    w.add_sender(CorrectMac, 1, (150.0, 0.0), dst=0)
+    w.add_sender(CorrectMac, 2, (-150.0, 0.0), dst=0)
+    w.add_sender(
+        SpoofingSenderMac, 3, (0.0, 150.0), dst=0,
+        aliases=ALIASES, policy=PartialCountdownPolicy(80.0),
+    )
+    return w
+
+
+class TestSpoofingAttack:
+    def test_aliases_rotate_on_air(self):
+        from repro.sim.trace import TraceLog
+
+        w = spoofing_world(authenticated=False)
+        w.medium.trace = TraceLog()
+        w.run(500_000)
+        rts_sources = {
+            e.data["dst"] for e in w.medium.trace
+            if e.kind == "tx_start" and e.node == 3
+            and e.data["frame_kind"] == "rts"
+        }
+        # Frames from node 3 are addressed to the AP...
+        assert rts_sources == {0}
+        # ...and the AP opened monitors under several alias identities.
+        receiver = w.nodes[0].mac
+        alias_monitors = set(receiver._monitors) & set(ALIASES)
+        assert len(alias_monitors) >= 3
+
+    def test_spoofing_evades_penalties_and_diagnosis(self):
+        w = spoofing_world(authenticated=False)
+        w.run(3_000_000)
+        receiver = w.nodes[0].mac
+        flagged = [
+            alias for alias in ALIASES
+            if alias in receiver._monitors
+            and receiver._monitors[alias].is_misbehaving
+        ]
+        # No single alias accumulates enough history to be diagnosed.
+        assert len(flagged) <= 1
+        # And the cheater clears more than an honest share.
+        cheat = cheater_throughput(w, 3_000_000)
+        honest = (w.collector.throughput_bps(1, 3_000_000)
+                  + w.collector.throughput_bps(2, 3_000_000)) / 2
+        assert cheat > 1.25 * honest
+
+    def test_alias_rotation_resets_monitor_history(self):
+        w = spoofing_world(authenticated=False)
+        w.run(2_000_000)
+        receiver = w.nodes[0].mac
+        alias_monitors = [
+            receiver._monitors[a] for a in ALIASES
+            if a in receiver._monitors
+        ]
+        # History is split across many shallow monitors.
+        assert len(alias_monitors) >= 3
+        per_alias = [m.packets_observed for m in alias_monitors]
+        total = sum(per_alias)
+        assert max(per_alias) < total
+
+
+class TestAuthenticationCountermeasure:
+    def test_principal_monitoring_restores_diagnosis(self):
+        w = spoofing_world(authenticated=True)
+        w.run(3_000_000)
+        receiver = w.nodes[0].mac
+        # All aliases resolved to principal 3: one deep monitor.
+        monitor = receiver.monitor_for(3)
+        assert monitor.packets_observed > 50
+        assert monitor.is_misbehaving
+        assert monitor.deviations_observed > 10
+
+    def test_principal_monitoring_restores_restraint(self):
+        unauth = spoofing_world(authenticated=False, seed=72)
+        unauth.run(3_000_000)
+        auth = spoofing_world(authenticated=True, seed=72)
+        auth.run(3_000_000)
+        cheat_unauth = cheater_throughput(unauth, 3_000_000)
+        cheat_auth = cheater_throughput(auth, 3_000_000)
+        assert cheat_auth < 0.75 * cheat_unauth
+
+    def test_honest_senders_unaffected_by_resolver(self):
+        w = spoofing_world(authenticated=True)
+        w.run(2_000_000)
+        receiver = w.nodes[0].mac
+        for honest in (1, 2):
+            monitor = receiver.monitor_for(honest)
+            assert not monitor.is_misbehaving
+
+
+class TestConstruction:
+    def test_needs_aliases(self):
+        w = World()
+        with pytest.raises(ValueError):
+            w.add_sender(SpoofingSenderMac, 3, (0.0, 150.0), dst=0,
+                         aliases=())

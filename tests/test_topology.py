@@ -1,0 +1,139 @@
+"""Tests for the evaluation topologies."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import (
+    CIRCLE_RADIUS_M,
+    FlowSpec,
+    circle_positions,
+    circle_topology,
+    random_topology,
+)
+from repro.phy.propagation import distance
+
+
+class TestCirclePositions:
+    def test_all_on_circle(self):
+        for pos in circle_positions(8):
+            assert math.hypot(*pos) == pytest.approx(CIRCLE_RADIUS_M)
+
+    def test_equidistant_neighbors(self):
+        positions = circle_positions(8)
+        gaps = [
+            distance(positions[i], positions[(i + 1) % 8])
+            for i in range(8)
+        ]
+        assert max(gaps) - min(gaps) < 1e-9
+
+    def test_single_sender(self):
+        assert len(circle_positions(1)) == 1
+
+    def test_zero_senders_rejected(self):
+        with pytest.raises(ValueError):
+            circle_positions(0)
+
+
+class TestCircleTopology:
+    def test_paper_setup(self):
+        topo = circle_topology(8, misbehaving=(3,), pm_percent=50.0)
+        assert topo.node_ids == [0, 1, 2, 3, 4, 5, 6, 7, 8]
+        assert topo.misbehaving_senders == [3]
+        assert all(f.dst == 0 for f in topo.flows)
+        assert all(f.rate_bps is None for f in topo.flows)  # backlogged
+
+    def test_receiver_at_origin(self):
+        topo = circle_topology(8)
+        assert topo.positions[0] == (0.0, 0.0)
+
+    def test_interferers_placement(self):
+        topo = circle_topology(8, with_interferers=True)
+        assert topo.positions[101] == (-500.0, 0.0)  # A
+        assert topo.positions[103] == (500.0, 0.0)   # C
+        interferer_flows = [f for f in topo.flows if not f.measured]
+        assert len(interferer_flows) == 2
+        assert all(f.rate_bps == 500_000 for f in interferer_flows)
+
+    def test_interferer_geometry_matches_paper(self):
+        """A-B at 500 m from R; far senders barely sense them."""
+        topo = circle_topology(8, with_interferers=True)
+        r_to_a = distance(topo.positions[0], topo.positions[101])
+        assert r_to_a == pytest.approx(500.0)
+        # Sender diametrically opposite A is 650 m from A.
+        far_sender = max(
+            range(1, 9),
+            key=lambda i: distance(topo.positions[i], topo.positions[101]),
+        )
+        assert distance(topo.positions[far_sender], topo.positions[101]) == (
+            pytest.approx(650.0)
+        )
+
+    def test_flow_of_lookup(self):
+        topo = circle_topology(4)
+        assert topo.flow_of(2).src == 2
+        with pytest.raises(KeyError):
+            topo.flow_of(99)
+
+    def test_misbehavior_only_marked_nodes(self):
+        topo = circle_topology(8, misbehaving=(3, 5), pm_percent=40.0)
+        assert set(topo.misbehaving_senders) == {3, 5}
+        assert topo.flow_of(3).pm_percent == 40.0
+        assert topo.flow_of(4).pm_percent == 0.0
+
+
+class TestRandomTopology:
+    def test_population(self):
+        topo = random_topology(random.Random(1), 40, 5, pm_percent=30.0)
+        assert len(topo.node_ids) == 40
+        assert len(topo.flows) == 40  # every node originates one flow
+        assert len(topo.misbehaving_senders) == 5
+
+    def test_positions_within_area(self):
+        topo = random_topology(random.Random(2), 40, 5)
+        for x, y in topo.positions.values():
+            assert 0.0 <= x <= 1500.0
+            assert 0.0 <= y <= 700.0
+
+    def test_flows_prefer_neighbors(self):
+        topo = random_topology(random.Random(3), 40, 0)
+        in_range = sum(
+            1 for f in topo.flows
+            if distance(topo.positions[f.src], topo.positions[f.dst]) <= 250.0
+        )
+        # In a 40-node/1.05 km^2 field nearly everyone has a neighbor.
+        assert in_range >= 35
+
+    def test_no_self_flows(self):
+        topo = random_topology(random.Random(4), 40, 5)
+        assert all(f.src != f.dst for f in topo.flows)
+
+    def test_deterministic_given_rng(self):
+        a = random_topology(random.Random(5), 20, 3, pm_percent=10.0)
+        b = random_topology(random.Random(5), 20, 3, pm_percent=10.0)
+        assert a.positions == b.positions
+        assert a.flows == b.flows
+
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30)
+    def test_misbehaving_count_respected(self, n, k):
+        if k > n:
+            return
+        topo = random_topology(random.Random(6), n, k, pm_percent=50.0)
+        assert len(topo.misbehaving_senders) == k
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_topology(random.Random(1), 1, 0)
+        with pytest.raises(ValueError):
+            random_topology(random.Random(1), 10, 11)
+
+
+class TestFlowSpec:
+    def test_misbehaving_property(self):
+        assert FlowSpec(src=1, dst=0, pm_percent=10.0).misbehaving
+        assert not FlowSpec(src=1, dst=0, pm_percent=0.0).misbehaving

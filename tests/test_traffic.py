@@ -1,0 +1,85 @@
+"""Tests for traffic sources."""
+
+import pytest
+
+from repro.net.traffic import BackloggedSource, CbrSource
+from repro.sim.engine import Simulator
+
+
+class FakeMac:
+    def __init__(self):
+        self.wakes = 0
+
+    def wake(self):
+        self.wakes += 1
+
+
+class TestBacklogged:
+    def test_always_has_a_packet(self):
+        src = BackloggedSource(dst=5, payload_bytes=512)
+        for i in range(1, 11):
+            packet = src.next_packet(now=i * 100)
+            assert packet is not None
+            assert packet.dst == 5
+            assert packet.payload_bytes == 512
+            assert packet.seq == i
+        assert src.packets_issued == 10
+
+    def test_packet_done_is_noop(self):
+        src = BackloggedSource(dst=1)
+        src.packet_done(100)  # must not raise
+
+
+class TestCbr:
+    def test_interval_from_rate(self):
+        sim = Simulator()
+        src = CbrSource(sim, dst=1, rate_bps=500_000, payload_bytes=512)
+        # 512 * 8 bits at 500 kbps -> 8192 us.
+        assert src.interval_us == 8192
+
+    def test_arrivals_follow_schedule(self):
+        sim = Simulator()
+        src = CbrSource(sim, dst=1, rate_bps=500_000, payload_bytes=512)
+        sim.run(until=8192 * 3 + 1)
+        assert src.packets_generated == 4  # t = 0, 8192, 16384, 24576
+
+    def test_empty_queue_returns_none(self):
+        sim = Simulator()
+        src = CbrSource(sim, dst=1, rate_bps=500_000, start_us=100)
+        assert src.next_packet(0) is None
+
+    def test_wake_on_empty_to_busy_edge(self):
+        sim = Simulator()
+        src = CbrSource(sim, dst=1, rate_bps=500_000)
+        mac = FakeMac()
+        src.attach(mac)
+        sim.run(until=1)
+        assert mac.wakes == 1
+        # Second arrival while queue non-empty: no extra wake.
+        sim.run(until=8193)
+        assert mac.wakes == 1
+        # Drain, then the next arrival wakes again.
+        src.next_packet(8200)
+        src.next_packet(8200)
+        assert src.queue_depth == 0
+        sim.run(until=16385)
+        assert mac.wakes == 2
+
+    def test_queue_cap_drops_at_source(self):
+        sim = Simulator()
+        src = CbrSource(sim, dst=1, rate_bps=2_000_000, max_queue=4)
+        sim.run(until=2048 * 20)
+        assert src.queue_depth == 4
+        assert src.source_drops > 0
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        src = CbrSource(sim, dst=1, rate_bps=500_000)
+        sim.run(until=8192 * 2 + 1)
+        first = src.next_packet(20000)
+        second = src.next_packet(20000)
+        assert first.seq < second.seq
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            CbrSource(Simulator(), dst=1, rate_bps=0)
