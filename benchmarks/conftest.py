@@ -19,6 +19,7 @@ import pathlib
 
 import pytest
 
+from repro.experiments.executor import ExperimentExecutor
 from repro.experiments.report import render_table
 from repro.experiments.settings import (
     EvalSettings,
@@ -67,6 +68,18 @@ def fig8_settings() -> EvalSettings:
 @pytest.fixture(scope="session")
 def settings() -> EvalSettings:
     return bench_settings()
+
+
+@pytest.fixture(scope="session")
+def executor():
+    """One persistent worker pool shared by every figure bench.
+
+    Figure generators flatten their whole sweep grid into a single
+    batch on this executor, so the suite pays pool spawn cost once
+    instead of once per sweep point.
+    """
+    with ExperimentExecutor() as shared:
+        yield shared
 
 
 def archive(fig) -> str:

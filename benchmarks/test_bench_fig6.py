@@ -11,10 +11,11 @@ from repro.experiments.figures import figure6
 from conftest import archive, bench_settings
 
 
-def test_fig6_throughput_vs_network_size(benchmark):
+def test_fig6_throughput_vs_network_size(benchmark, executor):
     settings = bench_settings()
     fig = benchmark.pedantic(
-        figure6, args=(settings,), rounds=1, iterations=1
+        figure6, args=(settings,), kwargs={"executor": executor},
+        rounds=1, iterations=1,
     )
     archive(fig)
     # ZERO-FLOW is tight; TWO-FLOW cells deliver few packets at bench

@@ -11,10 +11,11 @@ from repro.experiments.figures import figure7
 from conftest import archive, bench_settings
 
 
-def test_fig7_fairness_vs_network_size(benchmark):
+def test_fig7_fairness_vs_network_size(benchmark, executor):
     settings = bench_settings()
     fig = benchmark.pedantic(
-        figure7, args=(settings,), rounds=1, iterations=1
+        figure7, args=(settings,), kwargs={"executor": executor},
+        rounds=1, iterations=1,
     )
     archive(fig)
     for scenario in ("ZERO-FLOW", "TWO-FLOW"):

@@ -12,10 +12,11 @@ from repro.experiments.figures import figure9a, figure9b
 from conftest import archive, bench_settings
 
 
-def test_fig9a_random_topology_diagnosis(benchmark):
+def test_fig9a_random_topology_diagnosis(benchmark, executor):
     settings = bench_settings()
     fig = benchmark.pedantic(
-        figure9a, args=(settings,), rounds=1, iterations=1
+        figure9a, args=(settings,), kwargs={"executor": executor},
+        rounds=1, iterations=1,
     )
     archive(fig)
     diag = dict(fig.series["correct diagnosis"])
@@ -29,10 +30,11 @@ def test_fig9a_random_topology_diagnosis(benchmark):
     benchmark.extra_info["misdiag_max"] = max(mis.values())
 
 
-def test_fig9b_random_topology_throughput(benchmark):
+def test_fig9b_random_topology_throughput(benchmark, executor):
     settings = bench_settings()
     fig = benchmark.pedantic(
-        figure9b, args=(settings,), rounds=1, iterations=1
+        figure9b, args=(settings,), kwargs={"executor": executor},
+        rounds=1, iterations=1,
     )
     archive(fig)
     msb_dcf = dict(fig.series["802.11 - MSB"])

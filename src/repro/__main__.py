@@ -5,7 +5,16 @@ Subcommands
 ``figures [ids...]``
     Regenerate paper figures at the environment-selected scale
     (``REPRO_QUICK`` / default / ``REPRO_FULL``) and print ASCII
-    tables.
+    tables.  All requested figures are flattened into one task grid
+    and executed on a single persistent worker pool (``REPRO_WORKERS``
+    processes); with ``REPRO_CACHE`` set, unchanged points replay from
+    the run cache instead of re-simulating.
+
+``cache``
+    Inspect (default) or ``--clear`` the content-addressed run cache::
+
+        python -m repro cache
+        python -m repro cache --clear
 
 ``run``
     Run a single scenario and print its metrics.  Useful for poking at
@@ -36,6 +45,9 @@ from repro.net import circle_topology
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.executor import ExperimentExecutor
+    from repro.experiments.figures import generate_figures
+
     wanted = args.ids or list(ALL_FIGURES)
     unknown = [w for w in wanted if w not in ALL_FIGURES]
     if unknown:
@@ -43,15 +55,35 @@ def _cmd_figures(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     settings = active_settings()
+    with ExperimentExecutor() as executor:
+        figures = generate_figures(wanted, settings, executor=executor)
     for figure_id in wanted:
-        fig = ALL_FIGURES[figure_id](settings)
-        print_figure(fig)
+        print_figure(figures[figure_id])
         if args.plot:
             from repro.experiments.plots import print_plot
 
             print()
-            print_plot(fig)
+            print_plot(figures[figure_id])
         print()
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.experiments.cache import RunCache, cache_dir
+    from repro.experiments.settings import cache_enabled
+
+    cache = RunCache(args.dir or cache_dir())
+    if args.clear:
+        removed = cache.clear()
+        print(f"removed {removed} cached run(s) from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    state = "enabled (REPRO_CACHE set)" if cache_enabled() else \
+        "disabled (set REPRO_CACHE=1 to use it)"
+    print(f"run cache at {stats['directory']} — {state}")
+    print(f"  entries:      {stats['entries']}")
+    print(f"  size:         {stats['bytes'] / 1e6:.2f} MB")
+    print(f"  code version: {stats['code_version']}")
     return 0
 
 
@@ -120,6 +152,14 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--seconds", type=float, default=5.0)
     p_run.add_argument("--seed", type=int, default=1)
     p_run.set_defaults(func=_cmd_run)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear the run cache")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete every cached run")
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro/runs)")
+    p_cache.set_defaults(func=_cmd_cache)
 
     p_theory = sub.add_parser("theory", help="Bianchi model vs simulator")
     p_theory.add_argument("--sizes", type=int, nargs="+",

@@ -1,5 +1,16 @@
 """Experiment harness: scenarios, multi-seed runner, figure generators."""
 
+from repro.experiments.cache import (
+    RunCache,
+    active_cache,
+    code_version,
+    config_fingerprint,
+)
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    TaskBatch,
+    default_workers,
+)
 from repro.experiments.figures import (
     ALL_FIGURES,
     FigureResult,
@@ -11,6 +22,7 @@ from repro.experiments.figures import (
     figure9a,
     figure9b,
     figure_delay,
+    generate_figures,
     intro_claim,
 )
 from repro.experiments.plots import print_plot, render_plot
@@ -39,7 +51,15 @@ from repro.experiments.settings import (
 
 __all__ = [
     "ALL_FIGURES",
+    "ExperimentExecutor",
     "FigureResult",
+    "RunCache",
+    "TaskBatch",
+    "active_cache",
+    "code_version",
+    "config_fingerprint",
+    "default_workers",
+    "generate_figures",
     "figure4",
     "figure5",
     "figure6",

@@ -1,0 +1,227 @@
+"""Content-addressed on-disk cache of simulation runs.
+
+A run is fully determined by its :class:`ScenarioConfig` (the seed is
+a config field) plus the protocol-relevant source code, so its
+:class:`RunResult` can be memoised on disk and replayed instead of
+re-simulated.  The cache key is::
+
+    sha256(config_fingerprint(config) + ":" + code_version())
+
+* :func:`config_fingerprint` canonicalises the config — dataclasses
+  are walked field by field, dicts are sorted, floats use their
+  shortest ``repr`` — into a JSON document that is stable across
+  processes and Python hash randomisation.  Objects without a stable
+  ``repr`` (anything printing an ``at 0x...`` address) make the config
+  *uncacheable*: :class:`UncacheableConfigError` is raised and the
+  executor simply runs such configs every time.
+* :func:`code_version` hashes every protocol-relevant source file
+  (``repro.sim / phy / mac / net / core / metrics`` and
+  ``experiments/scenarios.py``), so editing the simulator invalidates
+  all prior entries while doc/harness edits (figures, report, CLI)
+  keep the cache warm.
+
+The cache is off unless ``REPRO_CACHE`` is set (see
+:func:`repro.experiments.settings.cache_enabled`); entries live under
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro/runs``) as one pickle
+per run.  ``python -m repro cache`` inspects or clears them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+from functools import lru_cache
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.scenarios import RunResult, ScenarioConfig
+from repro.experiments.settings import cache_enabled
+
+
+class UncacheableConfigError(ValueError):
+    """A config contains an object without a stable representation."""
+
+
+#: Packages (relative to the ``repro`` package root) whose sources make
+#: up the protocol-relevant code version.  Harness-only modules
+#: (figures, report, plots, export, CLI) are deliberately excluded:
+#: they consume results and cannot change them.
+_VERSIONED_SUBPACKAGES = ("core", "mac", "metrics", "net", "phy", "sim")
+_VERSIONED_FILES = ("experiments/scenarios.py",)
+
+
+def _canonical(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-stable primitives."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return repr(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            type(obj).__name__,
+            [
+                [f.name, _canonical(getattr(obj, f.name))]
+                for f in dataclasses.fields(obj)
+            ],
+        ]
+    if isinstance(obj, dict):
+        return [
+            "dict",
+            sorted(
+                ([_canonical(k), _canonical(v)] for k, v in obj.items()),
+                key=repr,
+            ),
+        ]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [_canonical(v) for v in obj]]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted((_canonical(v) for v in obj), key=repr)]
+    text = repr(obj)
+    if " at 0x" in text:
+        raise UncacheableConfigError(
+            f"{type(obj).__name__} has no stable repr ({text}); give it a "
+            "deterministic __repr__ to make configs using it cacheable"
+        )
+    return [type(obj).__name__, text]
+
+
+def config_fingerprint(config: ScenarioConfig) -> str:
+    """Stable hex digest identifying one ``(scenario, seed)`` run.
+
+    Raises :class:`UncacheableConfigError` when the config embeds an
+    object (e.g. an ad-hoc policy) whose repr is not deterministic.
+    """
+    payload = json.dumps(_canonical(config), separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the protocol-relevant source tree (see module doc)."""
+    import repro
+
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    files: List[pathlib.Path] = []
+    for sub in _VERSIONED_SUBPACKAGES:
+        files.extend((root / sub).rglob("*.py"))
+    files.extend(root / rel for rel in _VERSIONED_FILES)
+    for path in sorted(files):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def cache_dir() -> pathlib.Path:
+    """Cache directory: ``REPRO_CACHE_DIR`` or ``~/.cache/repro/runs``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "runs"
+
+
+class RunCache:
+    """One pickle per run, addressed by config + code-version digest."""
+
+    def __init__(self, directory: os.PathLike | str):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def key_for(self, config: ScenarioConfig) -> str:
+        """Cache key; raises ``UncacheableConfigError`` when unstable."""
+        fingerprint = config_fingerprint(config)
+        stamp = f"{fingerprint}:{code_version()}"
+        return hashlib.sha256(stamp.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, config: ScenarioConfig) -> Optional[RunResult]:
+        """The cached result for ``config``, or None on a miss.
+
+        Corrupt entries (interrupted writes, incompatible pickles) are
+        deleted and treated as misses.
+        """
+        try:
+            path = self._path(self.key_for(config))
+        except UncacheableConfigError:
+            return None
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, config: ScenarioConfig, result: RunResult) -> bool:
+        """Store ``result``; returns False for uncacheable configs.
+
+        Writes are atomic (tmp file + rename) so concurrent readers
+        never observe a partial entry.
+        """
+        try:
+            path = self._path(self.key_for(config))
+        except UncacheableConfigError:
+            return False
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            tmp.unlink(missing_ok=True)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def entries(self) -> List[pathlib.Path]:
+        return sorted(self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "code_version": code_version(),
+        }
+
+
+def active_cache() -> Optional[RunCache]:
+    """The env-selected cache: a :class:`RunCache` iff ``REPRO_CACHE``."""
+    if not cache_enabled():
+        return None
+    return RunCache(cache_dir())
+
+
+__all__ = [
+    "RunCache",
+    "UncacheableConfigError",
+    "active_cache",
+    "cache_dir",
+    "code_version",
+    "config_fingerprint",
+]

@@ -1,0 +1,325 @@
+"""Batched experiment execution on one persistent worker pool.
+
+The paper's evaluation is a grid of (figure x sweep-point x seed)
+simulations.  The original harness ran sweep points strictly
+sequentially and spun up a fresh ``ProcessPoolExecutor`` per point,
+which serialised the grid on pool churn.  This module replaces that
+with:
+
+* :class:`ExperimentExecutor` — a long-lived executor that owns one
+  process pool for its whole lifetime, consults the run cache
+  (:mod:`repro.experiments.cache`), deduplicates identical configs
+  inside a batch, and load-balances the remaining simulations across
+  the pool with small chunks;
+* :class:`TaskBatch` — an append-only list of
+  :class:`~repro.experiments.scenarios.ScenarioConfig` tasks that many
+  sweep points (or many figures) contribute to before a single
+  ``execute()`` call fans the whole flattened grid out at once.
+
+Every run is fully determined by its config, so neither worker count,
+chunking, dedup nor caching can change results — only wall time.
+
+With ``REPRO_PROFILE`` set, executed batches report per-run wall time,
+events processed and events/sec (plus a per-subsystem event breakdown
+when the kernel collected one) on stderr.  Profiling never touches RNG
+streams; simulated results are bit-identical with it on or off.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import (
+    RunCache,
+    UncacheableConfigError,
+    active_cache,
+    config_fingerprint,
+)
+from repro.experiments.scenarios import RunResult, ScenarioConfig, run_scenario
+from repro.experiments.settings import profile_enabled
+
+
+def default_workers() -> int:
+    """Worker processes to use: ``REPRO_WORKERS`` env or cpu count.
+
+    ``REPRO_WORKERS`` must parse as a positive integer; anything else
+    (including ``0`` and negative values, which would mean a pool with
+    no workers) raises ``ValueError`` with a clear message instead of
+    surfacing an ``int()`` traceback deep inside a sweep.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"REPRO_WORKERS must be >= 1, got {value}"
+            )
+        return value
+    return max(os.cpu_count() or 1, 1)
+
+
+def _timed_run(config: ScenarioConfig) -> Tuple[RunResult, float]:
+    """Pool task: run one scenario, measuring its wall time."""
+    start = time.perf_counter()
+    result = run_scenario(config)
+    return result, time.perf_counter() - start
+
+
+class ExperimentExecutor:
+    """Persistent pool + cache front-end for scenario batches.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to :func:`default_workers`.  ``1`` runs
+        everything in-process (no pool is ever created).
+    cache:
+        A :class:`RunCache`, or None to use the env-selected cache
+        (``REPRO_CACHE`` / ``REPRO_CACHE_DIR``; off by default).
+    profile:
+        Emit per-run profiling to stderr; defaults to ``REPRO_PROFILE``.
+
+    The executor is reusable across many :meth:`run` calls — that is
+    the point: one pool serves a whole figure, or every figure of a
+    CLI invocation.  Use it as a context manager (or call
+    :meth:`close`) to shut the pool down.
+
+    ``runs_executed`` / ``cache_hits`` / ``dedup_hits`` count actual
+    simulations versus avoided ones, and double as the run-count probe
+    the cache tests assert on.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+        profile: Optional[bool] = None,
+    ):
+        self.workers = workers if workers is not None else default_workers()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.cache = cache if cache is not None else active_cache()
+        self.profile = profile if profile is not None else profile_enabled()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        self.runs_executed = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ExperimentExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[RunResult]:
+        """Run a batch of configs; results come back in input order.
+
+        Each config is satisfied, in priority order, by (1) an earlier
+        identical config in the same batch, (2) the run cache, or
+        (3) an actual simulation on the pool.  Fresh simulations are
+        written back to the cache.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        configs = list(configs)
+        results: List[Optional[RunResult]] = [None] * len(configs)
+        pending: List[int] = []           # indices that must simulate
+        first_seen: Dict[str, int] = {}   # fingerprint -> first index
+        aliases: List[Tuple[int, int]] = []   # (dup index, source index)
+        for index, config in enumerate(configs):
+            try:
+                fingerprint = config_fingerprint(config)
+            except UncacheableConfigError:
+                pending.append(index)
+                continue
+            if fingerprint in first_seen:
+                self.dedup_hits += 1
+                aliases.append((index, first_seen[fingerprint]))
+                continue
+            first_seen[fingerprint] = index
+            if self.cache is not None:
+                hit = self.cache.get(config)
+                if hit is not None:
+                    self.cache_hits += 1
+                    results[index] = hit
+                    continue
+            pending.append(index)
+        if pending:
+            timed = self._execute([configs[i] for i in pending])
+            for index, (result, wall_s) in zip(pending, timed):
+                results[index] = result
+                self.runs_executed += 1
+                if self.cache is not None:
+                    self.cache.put(configs[index], result)
+            if self.profile:
+                self._report([configs[i] for i in pending], timed)
+        for dup, source in aliases:
+            results[dup] = results[source]
+        return results  # type: ignore[return-value]
+
+    def _execute(
+        self, configs: List[ScenarioConfig]
+    ) -> List[Tuple[RunResult, float]]:
+        if self.workers <= 1 or len(configs) == 1:
+            return [_timed_run(config) for config in configs]
+        pool = self._ensure_pool()
+        # Small chunks load-balance heterogeneous run costs (a 64-node
+        # point costs ~50x a 1-node point) at modest IPC overhead.
+        chunksize = max(1, len(configs) // (self.workers * 4))
+        return list(pool.map(_timed_run, configs, chunksize=chunksize))
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        configs: List[ScenarioConfig],
+        timed: List[Tuple[RunResult, float]],
+    ) -> None:
+        out = sys.stderr
+        total_wall = 0.0
+        total_events = 0
+        subsystems: Dict[str, int] = {}
+        for config, (result, wall_s) in zip(configs, timed):
+            rate = result.events_processed / wall_s if wall_s > 0 else 0.0
+            total_wall += wall_s
+            total_events += result.events_processed
+            print(
+                f"[profile] seed={config.seed} proto={config.protocol} "
+                f"n={len(config.topology.flows)} wall={wall_s:.3f}s "
+                f"events={result.events_processed} rate={rate:,.0f} ev/s",
+                file=out,
+            )
+            for module, count in result.event_counts.items():
+                subsystems[module] = subsystems.get(module, 0) + count
+        rate = total_events / total_wall if total_wall > 0 else 0.0
+        print(
+            f"[profile] batch: {len(timed)} runs wall={total_wall:.3f}s "
+            f"(cumulative) events={total_events} rate={rate:,.0f} ev/s",
+            file=out,
+        )
+        for module, count in sorted(
+            subsystems.items(), key=lambda kv: -kv[1]
+        ):
+            share = 100.0 * count / total_events if total_events else 0.0
+            print(
+                f"[profile]   {module}: {count} events ({share:.1f}%)",
+                file=out,
+            )
+
+
+class BatchHandle:
+    """Lazy view of one contiguous slice of a :class:`TaskBatch`.
+
+    Sweep points hold handles while the batch accumulates; after
+    ``TaskBatch.execute()`` the handle's :attr:`results` are the runs
+    of exactly the configs it added, in the order it added them.
+    """
+
+    __slots__ = ("_batch", "_start", "_count")
+
+    def __init__(self, batch: "TaskBatch", start: int, count: int):
+        self._batch = batch
+        self._start = start
+        self._count = count
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def results(self) -> List[RunResult]:
+        if self._batch._results is None:
+            raise RuntimeError("batch has not been executed yet")
+        return self._batch._results[self._start:self._start + self._count]
+
+
+class TaskBatch:
+    """A flattened grid of scenario tasks executed in one shot."""
+
+    def __init__(self) -> None:
+        self._configs: List[ScenarioConfig] = []
+        self._results: Optional[List[RunResult]] = None
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    @property
+    def configs(self) -> List[ScenarioConfig]:
+        return list(self._configs)
+
+    def add(self, configs: Sequence[ScenarioConfig]) -> BatchHandle:
+        """Append configs; returns the handle to their future results."""
+        if self._results is not None:
+            raise RuntimeError("batch was already executed")
+        configs = list(configs)
+        if not configs:
+            raise ValueError("need at least one config")
+        handle = BatchHandle(self, len(self._configs), len(configs))
+        self._configs.extend(configs)
+        return handle
+
+    def add_seeds(
+        self, config: ScenarioConfig, seeds: Sequence[int]
+    ) -> BatchHandle:
+        """Append one config re-seeded over ``seeds`` (one sweep point)."""
+        if not seeds:
+            raise ValueError("need at least one seed")
+        return self.add([config.with_seed(seed) for seed in seeds])
+
+    def execute(
+        self,
+        executor: Optional[ExperimentExecutor] = None,
+        workers: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Run every task; afterwards each handle's results are live.
+
+        With ``executor`` given, its (persistent) pool is reused;
+        otherwise an ephemeral executor with ``workers`` processes is
+        created for just this call.
+        """
+        if self._results is not None:
+            raise RuntimeError("batch was already executed")
+        if executor is not None:
+            self._results = executor.run(self._configs)
+        else:
+            with ExperimentExecutor(workers=workers) as ephemeral:
+                self._results = ephemeral.run(self._configs)
+        return list(self._results)
+
+
+__all__ = [
+    "BatchHandle",
+    "ExperimentExecutor",
+    "TaskBatch",
+    "default_workers",
+]

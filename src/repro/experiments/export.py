@@ -18,6 +18,7 @@ import pathlib
 import time
 from typing import Dict, Iterable, Optional
 
+from repro.experiments.executor import ExperimentExecutor
 from repro.experiments.figures import ALL_FIGURES, FigureResult
 from repro.experiments.report import render_table, to_json
 from repro.experiments.settings import DEFAULT_SETTINGS, EvalSettings
@@ -28,13 +29,14 @@ def export_figure(
     out_dir: pathlib.Path,
     settings: EvalSettings,
     workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     """Generate one figure and write ``<id>.txt`` and ``<id>.json``."""
     if figure_id not in ALL_FIGURES:
         raise KeyError(
             f"unknown figure {figure_id!r}; known: {sorted(ALL_FIGURES)}"
         )
-    fig = ALL_FIGURES[figure_id](settings, workers=workers)
+    fig = ALL_FIGURES[figure_id](settings, workers=workers, executor=executor)
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / f"{figure_id}.txt").write_text(
         render_table(fig) + "\n", encoding="utf-8"
@@ -56,17 +58,20 @@ def export_all(
 
     Returns the figure results keyed by id.  Figures are generated
     sequentially, cheapest first, so partial output is useful even if
-    interrupted.
+    interrupted — but all of them share one persistent worker pool
+    (and the run cache, when enabled) via a single
+    :class:`ExperimentExecutor`.
     """
     directory = pathlib.Path(out_dir)
     wanted = list(figure_ids) if figure_ids is not None else list(ALL_FIGURES)
     results: Dict[str, FigureResult] = {}
-    for figure_id in wanted:
-        start = time.time()
-        results[figure_id] = export_figure(
-            figure_id, directory, settings, workers
-        )
-        if verbose:
-            print(f"{figure_id}: {time.time() - start:.0f}s "
-                  f"-> {directory / figure_id}.txt")
+    with ExperimentExecutor(workers=workers) as executor:
+        for figure_id in wanted:
+            start = time.time()
+            results[figure_id] = export_figure(
+                figure_id, directory, settings, executor=executor
+            )
+            if verbose:
+                print(f"{figure_id}: {time.time() - start:.0f}s "
+                      f"-> {directory / figure_id}.txt")
     return results

@@ -6,16 +6,30 @@ returns a :class:`FigureResult`: named series of (x, y) points that
 mirror the curves in the paper.  ``repro.experiments.report`` renders
 them as ASCII tables; the benchmark suite regenerates each figure and
 asserts its qualitative shape.
+
+Execution model
+---------------
+Internally every figure is written as a *planner*: a generator that
+first contributes all of its ``ScenarioConfig`` tasks to a shared
+:class:`~repro.experiments.executor.TaskBatch`, then ``yield``\\ s once
+(the execution barrier), and finally reduces the results into the
+figure's series.  The public ``figureN`` functions execute their own
+batch; :func:`generate_figures` flattens *several* figures into one
+global batch so a single persistent worker pool sees the entire
+(figure x sweep-point x seed) grid at once — no per-point pool churn
+and no idle workers at sweep-point boundaries.  Because every run is
+fully determined by its config, the batched schedule produces
+bit-identical figures to sequential execution.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.sender_policy import ShrunkenWindowPolicy
-from repro.experiments.runner import run_configs, run_seeds
+from repro.experiments.executor import ExperimentExecutor, TaskBatch
 from repro.experiments.scenarios import (
     PROTOCOL_80211,
     PROTOCOL_CORRECT,
@@ -97,18 +111,64 @@ def _add_stat_point(
 
 
 # ----------------------------------------------------------------------
-# Figure 4 — diagnosis accuracy vs magnitude of misbehavior
+# Planner plumbing
 # ----------------------------------------------------------------------
-def figure4(
+def _materialize(
+    planner,
+    settings: EvalSettings,
+    workers: Optional[int],
+    executor: Optional[ExperimentExecutor],
+) -> FigureResult:
+    """Drive one planner through its plan / execute / reduce phases."""
+    batch = TaskBatch()
+    gen = planner(settings, batch)
+    next(gen)
+    batch.execute(executor=executor, workers=workers)
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise RuntimeError("figure planner yielded more than once")
+
+
+def generate_figures(
+    ids: Optional[Iterable[str]] = None,
     settings: EvalSettings = DEFAULT_SETTINGS,
     workers: Optional[int] = None,
-) -> FigureResult:
-    """Correct-diagnosis and misdiagnosis percentages vs PM.
+    executor: Optional[ExperimentExecutor] = None,
+) -> Dict[str, FigureResult]:
+    """Generate several figures from one globally flattened task grid.
 
-    Reproduces Figure 4: 8 senders around R, node 3 misbehaving with
-    the swept PM, for both ZERO-FLOW and TWO-FLOW scenarios, under the
-    CORRECT protocol.
+    Every requested figure contributes its complete config list to a
+    single :class:`TaskBatch` before anything runs, so the worker pool
+    is saturated across figure boundaries.  Results are keyed by
+    figure id and are bit-identical to calling each ``figureN``
+    individually.
     """
+    wanted = list(ids) if ids is not None else list(PLANNERS)
+    unknown = [fid for fid in wanted if fid not in PLANNERS]
+    if unknown:
+        raise KeyError(f"unknown figure ids {unknown}; known: {list(PLANNERS)}")
+    batch = TaskBatch()
+    gens = [(fid, PLANNERS[fid](settings, batch)) for fid in wanted]
+    for _, gen in gens:
+        next(gen)
+    batch.execute(executor=executor, workers=workers)
+    figures: Dict[str, FigureResult] = {}
+    for fid, gen in gens:
+        try:
+            next(gen)
+        except StopIteration as stop:
+            figures[fid] = stop.value
+        else:
+            raise RuntimeError("figure planner yielded more than once")
+    return figures
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — diagnosis accuracy vs magnitude of misbehavior
+# ----------------------------------------------------------------------
+def _figure4_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="fig4",
         title="Diagnosis accuracy for varying magnitude of misbehavior",
@@ -116,6 +176,7 @@ def figure4(
         y_label="percentage of packets",
         meta=_scale_meta(settings),
     )
+    points = []
     for scenario, with_interferers in (("ZERO-FLOW", False), ("TWO-FLOW", True)):
         for pm in settings.pm_values:
             topo = circle_topology(
@@ -126,27 +187,43 @@ def figure4(
                 topology=topo, protocol=PROTOCOL_CORRECT,
                 duration_us=settings.duration_us,
             )
-            results = run_seeds(config, settings.seeds, workers)
-            _add_stat_point(
-                fig, f"{scenario} correct diagnosis", pm, results,
-                lambda r: r.correct_diagnosis_percent,
+            points.append(
+                (scenario, pm, batch.add_seeds(config, settings.seeds))
             )
-            _add_stat_point(
-                fig, f"{scenario} misdiagnosis", pm, results,
-                lambda r: r.misdiagnosis_percent,
-            )
+    yield
+    for scenario, pm, handle in points:
+        results = handle.results
+        _add_stat_point(
+            fig, f"{scenario} correct diagnosis", pm, results,
+            lambda r: r.correct_diagnosis_percent,
+        )
+        _add_stat_point(
+            fig, f"{scenario} misdiagnosis", pm, results,
+            lambda r: r.misdiagnosis_percent,
+        )
     return fig
+
+
+def figure4(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Correct-diagnosis and misdiagnosis percentages vs PM.
+
+    Reproduces Figure 4: 8 senders around R, node 3 misbehaving with
+    the swept PM, for both ZERO-FLOW and TWO-FLOW scenarios, under the
+    CORRECT protocol.
+    """
+    return _materialize(_figure4_plan, settings, workers, executor)
 
 
 # ----------------------------------------------------------------------
 # Figure 5 — throughput comparison, 802.11 vs CORRECT, vs PM
 # ----------------------------------------------------------------------
-def figure5(
-    settings: EvalSettings = DEFAULT_SETTINGS,
-    workers: Optional[int] = None,
-    with_interferers: bool = False,
-) -> FigureResult:
-    """MSB and AVG throughput vs PM for both protocols (Figure 5)."""
+def _figure5_plan(
+    settings: EvalSettings, batch: TaskBatch, with_interferers: bool = False
+):
     fig = FigureResult(
         figure_id="fig5",
         title="Throughput comparison between IEEE 802.11 and proposed scheme",
@@ -154,6 +231,7 @@ def figure5(
         y_label="throughput (Kbps)",
         meta=_scale_meta(settings),
     )
+    points = []
     for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
         for pm in settings.pm_values:
             topo = circle_topology(
@@ -164,22 +242,41 @@ def figure5(
                 topology=topo, protocol=protocol,
                 duration_us=settings.duration_us,
             )
-            results = run_seeds(config, settings.seeds, workers)
-            _add_stat_point(
-                fig, f"{label} - MSB", pm, results,
-                lambda r: r.msb_throughput_bps, scale=1e-3,
+            points.append(
+                (label, pm, batch.add_seeds(config, settings.seeds))
             )
-            _add_stat_point(
-                fig, f"{label} - AVG", pm, results,
-                lambda r: r.avg_throughput_bps, scale=1e-3,
-            )
+    yield
+    for label, pm, handle in points:
+        results = handle.results
+        _add_stat_point(
+            fig, f"{label} - MSB", pm, results,
+            lambda r: r.msb_throughput_bps, scale=1e-3,
+        )
+        _add_stat_point(
+            fig, f"{label} - AVG", pm, results,
+            lambda r: r.avg_throughput_bps, scale=1e-3,
+        )
     return fig
+
+
+def figure5(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    with_interferers: bool = False,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """MSB and AVG throughput vs PM for both protocols (Figure 5)."""
+    return _materialize(
+        lambda s, b: _figure5_plan(s, b, with_interferers),
+        settings, workers, executor,
+    )
 
 
 # ----------------------------------------------------------------------
 # Figures 6 and 7 — behaviour without misbehavior, vs network size
 # ----------------------------------------------------------------------
-def _size_sweep(settings: EvalSettings, workers: Optional[int]):
+def _size_sweep_points(settings: EvalSettings, batch: TaskBatch):
+    points = []
     for scenario, with_interferers in (("ZERO-FLOW", False), ("TWO-FLOW", True)):
         for protocol, label in (
             (PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")
@@ -190,15 +287,13 @@ def _size_sweep(settings: EvalSettings, workers: Optional[int]):
                     topology=topo, protocol=protocol,
                     duration_us=settings.duration_us,
                 )
-                results = run_seeds(config, settings.seeds, workers)
-                yield scenario, label, n, results
+                points.append(
+                    (scenario, label, n, batch.add_seeds(config, settings.seeds))
+                )
+    return points
 
 
-def figure6(
-    settings: EvalSettings = DEFAULT_SETTINGS,
-    workers: Optional[int] = None,
-) -> FigureResult:
-    """Average per-sender throughput vs network size (Figure 6)."""
+def _figure6_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="fig6",
         title="Throughput comparison without misbehavior for varying network sizes",
@@ -206,19 +301,26 @@ def figure6(
         y_label="average throughput (Kbps)",
         meta=_scale_meta(settings),
     )
-    for scenario, label, n, results in _size_sweep(settings, workers):
+    points = _size_sweep_points(settings, batch)
+    yield
+    for scenario, label, n, handle in points:
         _add_stat_point(
-            fig, f"{scenario} {label}", n, results,
+            fig, f"{scenario} {label}", n, handle.results,
             lambda r: r.avg_throughput_bps, scale=1e-3,
         )
     return fig
 
 
-def figure7(
+def figure6(
     settings: EvalSettings = DEFAULT_SETTINGS,
     workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
-    """Jain's fairness index vs network size (Figure 7)."""
+    """Average per-sender throughput vs network size (Figure 6)."""
+    return _materialize(_figure6_plan, settings, workers, executor)
+
+
+def _figure7_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="fig7",
         title="Comparison of fairness index between IEEE 802.11 and proposed scheme",
@@ -226,22 +328,29 @@ def figure7(
         y_label="fairness index",
         meta=_scale_meta(settings),
     )
-    for scenario, label, n, results in _size_sweep(settings, workers):
+    points = _size_sweep_points(settings, batch)
+    yield
+    for scenario, label, n, handle in points:
         _add_stat_point(
-            fig, f"{scenario} {label}", n, results,
+            fig, f"{scenario} {label}", n, handle.results,
             lambda r: r.fairness_index,
         )
     return fig
 
 
+def figure7(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Jain's fairness index vs network size (Figure 7)."""
+    return _materialize(_figure7_plan, settings, workers, executor)
+
+
 # ----------------------------------------------------------------------
 # Figure 8 — responsiveness of the diagnosis scheme
 # ----------------------------------------------------------------------
-def figure8(
-    settings: EvalSettings = DEFAULT_SETTINGS,
-    workers: Optional[int] = None,
-) -> FigureResult:
-    """Correct-diagnosis percentage over time, TWO-FLOW (Figure 8)."""
+def _figure8_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="fig8",
         title="Evaluation of responsiveness of misbehavior diagnosis scheme",
@@ -249,6 +358,7 @@ def figure8(
         y_label="correct diagnosis %",
         meta=_scale_meta(settings),
     )
+    points = []
     for pm in settings.fig8_pm_values:
         topo = circle_topology(
             8, misbehaving=(MISBEHAVING_NODE,), pm_percent=pm,
@@ -258,12 +368,14 @@ def figure8(
             topology=topo, protocol=PROTOCOL_CORRECT,
             duration_us=settings.duration_us,
         )
-        results = run_seeds(config, settings.seeds, workers)
+        points.append((pm, batch.add_seeds(config, settings.seeds)))
+    yield
+    for pm, handle in points:
         series = elementwise_mean([
             r.collector.diagnosis_time_series(
                 settings.fig8_bin_us, settings.duration_us
             )
-            for r in results
+            for r in handle.results
         ])
         name = f"PM={pm:.0f}%"
         for i, value in enumerate(series):
@@ -271,12 +383,21 @@ def figure8(
     return fig
 
 
+def figure8(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Correct-diagnosis percentage over time, TWO-FLOW (Figure 8)."""
+    return _materialize(_figure8_plan, settings, workers, executor)
+
+
 # ----------------------------------------------------------------------
 # Figure 9 — random topologies
 # ----------------------------------------------------------------------
-def _random_results(
-    settings: EvalSettings, protocol: str, pm: float, workers: Optional[int]
-) -> List[RunResult]:
+def _random_configs(
+    settings: EvalSettings, protocol: str, pm: float
+) -> List[ScenarioConfig]:
     configs = []
     for index in range(settings.random_topologies):
         topo = random_topology(
@@ -291,14 +412,10 @@ def _random_results(
                 duration_us=settings.duration_us, seed=1000 + index,
             )
         )
-    return run_configs(configs, workers)
+    return configs
 
 
-def figure9a(
-    settings: EvalSettings = DEFAULT_SETTINGS,
-    workers: Optional[int] = None,
-) -> FigureResult:
-    """Diagnosis accuracy vs PM over random topologies (Figure 9a)."""
+def _figure9a_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="fig9a",
         title="Diagnosis accuracy, random topology (40 nodes, 1500m x 700m)",
@@ -306,8 +423,13 @@ def figure9a(
         y_label="percentage of packets",
         meta=_scale_meta(settings),
     )
-    for pm in settings.pm_values:
-        results = _random_results(settings, PROTOCOL_CORRECT, pm, workers)
+    points = [
+        (pm, batch.add(_random_configs(settings, PROTOCOL_CORRECT, pm)))
+        for pm in settings.pm_values
+    ]
+    yield
+    for pm, handle in points:
+        results = handle.results
         _add_stat_point(
             fig, "correct diagnosis", pm, results,
             lambda r: r.correct_diagnosis_percent,
@@ -319,18 +441,16 @@ def figure9a(
     return fig
 
 
-def figure9b(
+def figure9a(
     settings: EvalSettings = DEFAULT_SETTINGS,
     workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
-    """Throughput vs PM over random topologies (Figure 9b).
+    """Diagnosis accuracy vs PM over random topologies (Figure 9a)."""
+    return _materialize(_figure9a_plan, settings, workers, executor)
 
-    Besides the paper's four curves, the result carries (in ``meta``)
-    the *designated cheaters' fair share*: the mean throughput those
-    same nodes obtain in a fully honest run.  In random fields the
-    cheaters' local contention differs from the network average, so
-    "restricted to a fair share" is judged against this baseline.
-    """
+
+def _figure9b_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="fig9b",
         title="Throughput, random topology (40 nodes, 1500m x 700m)",
@@ -352,42 +472,54 @@ def figure9b(
         )
         for index in range(settings.random_topologies)
     ]
-    honest_runs = _random_results(settings, PROTOCOL_CORRECT, 0.0, workers)
+    honest = batch.add(_random_configs(settings, PROTOCOL_CORRECT, 0.0))
+    points = []
+    for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
+        for pm in settings.pm_values:
+            points.append(
+                (label, pm, batch.add(_random_configs(settings, protocol, pm)))
+            )
+    yield
     baselines = []
-    for topo_index, result in enumerate(honest_runs):
+    for topo_index, result in enumerate(honest.results):
         tps = result.throughputs()
         baselines.extend(
             tps[n] for n in designated[topo_index] if n in tps
         )
     fig.meta["cheaters_fair_share_kbps"] = mean(baselines) / 1000.0
-    for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
-        for pm in settings.pm_values:
-            results = _random_results(settings, protocol, pm, workers)
-            _add_stat_point(
-                fig, f"{label} - MSB", pm, results,
-                lambda r: r.msb_throughput_bps, scale=1e-3,
-            )
-            _add_stat_point(
-                fig, f"{label} - AVG", pm, results,
-                lambda r: r.avg_throughput_bps, scale=1e-3,
-            )
+    for label, pm, handle in points:
+        results = handle.results
+        _add_stat_point(
+            fig, f"{label} - MSB", pm, results,
+            lambda r: r.msb_throughput_bps, scale=1e-3,
+        )
+        _add_stat_point(
+            fig, f"{label} - AVG", pm, results,
+            lambda r: r.avg_throughput_bps, scale=1e-3,
+        )
     return fig
+
+
+def figure9b(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Throughput vs PM over random topologies (Figure 9b).
+
+    Besides the paper's four curves, the result carries (in ``meta``)
+    the *designated cheaters' fair share*: the mean throughput those
+    same nodes obtain in a fully honest run.  In random fields the
+    cheaters' local contention differs from the network average, so
+    "restricted to a fair share" is judged against this baseline.
+    """
+    return _materialize(_figure9b_plan, settings, workers, executor)
 
 
 # ----------------------------------------------------------------------
 # Section 1 motivating claim
 # ----------------------------------------------------------------------
-def intro_claim(
-    settings: EvalSettings = DEFAULT_SETTINGS,
-    workers: Optional[int] = None,
-) -> FigureResult:
-    """The introduction's example: one [0, CW/4] cheater under 802.11.
-
-    The paper: "for a network containing 8 nodes sending packets to a
-    common receiver, with one of the 8 nodes misbehaving by selecting
-    backoff values from range [0, CW/4], the throughput of the other 7
-    nodes is degraded by as much as 50%".
-    """
+def _intro_claim_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="intro",
         title="Intro claim: one [0, CW/4] misbehaver under IEEE 802.11",
@@ -399,17 +531,17 @@ def intro_claim(
         topology=circle_topology(8), protocol=PROTOCOL_80211,
         duration_us=settings.duration_us,
     )
-    fair = _avg(
-        run_seeds(baseline, settings.seeds, workers),
-        lambda r: r.avg_throughput_bps,
-    )
+    baseline_handle = batch.add_seeds(baseline, settings.seeds)
     topo = circle_topology(8, misbehaving=(MISBEHAVING_NODE,), pm_percent=1.0)
     cheated = ScenarioConfig(
         topology=topo, protocol=PROTOCOL_80211,
         duration_us=settings.duration_us,
         policy_overrides={MISBEHAVING_NODE: ShrunkenWindowPolicy(4.0)},
     )
-    results = run_seeds(cheated, settings.seeds, workers)
+    cheated_handle = batch.add_seeds(cheated, settings.seeds)
+    yield
+    fair = _avg(baseline_handle.results, lambda r: r.avg_throughput_bps)
+    results = cheated_handle.results
     fig.add_point("fair share (all honest)", 0, fair / 1000.0)
     fig.add_point(
         "honest AVG with cheater", 1,
@@ -425,21 +557,25 @@ def intro_claim(
     return fig
 
 
+def intro_claim(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """The introduction's example: one [0, CW/4] cheater under 802.11.
+
+    The paper: "for a network containing 8 nodes sending packets to a
+    common receiver, with one of the 8 nodes misbehaving by selecting
+    backoff values from range [0, CW/4], the throughput of the other 7
+    nodes is degraded by as much as 50%".
+    """
+    return _materialize(_intro_claim_plan, settings, workers, executor)
+
+
 # ----------------------------------------------------------------------
 # Extension figure: MAC access delay (the paper's other selfish motive)
 # ----------------------------------------------------------------------
-def figure_delay(
-    settings: EvalSettings = DEFAULT_SETTINGS,
-    workers: Optional[int] = None,
-) -> FigureResult:
-    """Mean MAC access delay vs PM, both protocols (extension).
-
-    Section 3.1 defines selfish misbehavior as seeking "higher
-    throughput or lower delay".  The paper plots only throughput; this
-    companion figure shows the delay side of the same story: under
-    802.11 the cheater's access delay collapses while honest senders
-    queue longer; under CORRECT the penalties equalise delays again.
-    """
+def _figure_delay_plan(settings: EvalSettings, batch: TaskBatch):
     fig = FigureResult(
         figure_id="delay",
         title="Mean MAC access delay (extension to Figure 5)",
@@ -447,6 +583,7 @@ def figure_delay(
         y_label="mean access delay (ms)",
         meta=_scale_meta(settings),
     )
+    points = []
     for protocol, label in ((PROTOCOL_80211, "802.11"), (PROTOCOL_CORRECT, "CORRECT")):
         for pm in settings.pm_values:
             topo = circle_topology(
@@ -456,23 +593,57 @@ def figure_delay(
                 topology=topo, protocol=protocol,
                 duration_us=settings.duration_us,
             )
-            results = run_seeds(config, settings.seeds, workers)
-            msb_delays = [
-                r.collector.mean_delay_us(MISBEHAVING_NODE) for r in results
+            points.append(
+                (label, pm, batch.add_seeds(config, settings.seeds))
+            )
+    yield
+    for label, pm, handle in points:
+        results = handle.results
+        msb_delays = [
+            r.collector.mean_delay_us(MISBEHAVING_NODE) for r in results
+        ]
+        honest_delays = []
+        for r in results:
+            values = [
+                r.collector.mean_delay_us(s)
+                for s in range(1, 9)
+                if s != MISBEHAVING_NODE
             ]
-            honest_delays = []
-            for r in results:
-                values = [
-                    r.collector.mean_delay_us(s)
-                    for s in range(1, 9)
-                    if s != MISBEHAVING_NODE
-                ]
-                honest_delays.append(mean(values))
-            if pm > 0:
-                fig.add_point(f"{label} - MSB", pm, mean(msb_delays) / 1000.0)
-            fig.add_point(f"{label} - AVG", pm, mean(honest_delays) / 1000.0)
+            honest_delays.append(mean(values))
+        if pm > 0:
+            fig.add_point(f"{label} - MSB", pm, mean(msb_delays) / 1000.0)
+        fig.add_point(f"{label} - AVG", pm, mean(honest_delays) / 1000.0)
     return fig
 
+
+def figure_delay(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Mean MAC access delay vs PM, both protocols (extension).
+
+    Section 3.1 defines selfish misbehavior as seeking "higher
+    throughput or lower delay".  The paper plots only throughput; this
+    companion figure shows the delay side of the same story: under
+    802.11 the cheater's access delay collapses while honest senders
+    queue longer; under CORRECT the penalties equalise delays again.
+    """
+    return _materialize(_figure_delay_plan, settings, workers, executor)
+
+
+#: Planner registry backing :func:`generate_figures`.
+PLANNERS = {
+    "fig4": _figure4_plan,
+    "fig5": _figure5_plan,
+    "fig6": _figure6_plan,
+    "fig7": _figure7_plan,
+    "fig8": _figure8_plan,
+    "fig9a": _figure9a_plan,
+    "fig9b": _figure9b_plan,
+    "intro": _intro_claim_plan,
+    "delay": _figure_delay_plan,
+}
 
 #: Registry used by the report CLI and the benchmark suite.
 ALL_FIGURES = {

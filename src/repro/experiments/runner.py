@@ -4,53 +4,59 @@ Every data point is averaged over a set of seeds, and "the set of
 seeds used for different data points is the same" — :func:`run_seeds`
 takes an explicit seed list so sweeps reuse it.
 
-Runs are embarrassingly parallel; :func:`run_seeds` optionally fans
-out over a process pool (each run is fully determined by its config,
-so worker count never changes results).
+Runs are embarrassingly parallel; both entry points fan out over a
+process pool (each run is fully determined by its config, so worker
+count never changes results).  Callers that execute many sweep points
+should pass an :class:`~repro.experiments.executor.ExperimentExecutor`
+so every point reuses one persistent pool (and the run cache) instead
+of paying pool spawn/teardown per point — the figure harnesses go one
+step further and flatten entire figures into a single
+:class:`~repro.experiments.executor.TaskBatch`.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.experiments.scenarios import RunResult, ScenarioConfig, run_scenario
+from repro.experiments.executor import ExperimentExecutor, default_workers
+from repro.experiments.scenarios import RunResult, ScenarioConfig
+
+__all__ = [
+    "PAPER_SEEDS",
+    "average_metric",
+    "default_workers",
+    "run_configs",
+    "run_seeds",
+]
 
 #: Seed list used by the full (paper-scale) evaluation: 30 runs.
 PAPER_SEEDS = tuple(range(1, 31))
-
-
-def default_workers() -> int:
-    """Worker processes to use: ``REPRO_WORKERS`` env or cpu count."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(int(env), 1)
-    return max(os.cpu_count() or 1, 1)
 
 
 def run_seeds(
     config: ScenarioConfig,
     seeds: Sequence[int],
     workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[RunResult]:
     """Run the scenario once per seed (optionally in parallel).
 
-    Results come back in seed order regardless of scheduling.
+    Results come back in seed order regardless of scheduling.  With
+    ``executor`` given, its persistent pool/cache are reused and
+    ``workers`` is ignored; otherwise an ephemeral executor is created
+    for this call.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    configs = [config.with_seed(seed) for seed in seeds]
-    n_workers = workers if workers is not None else default_workers()
-    if n_workers <= 1 or len(configs) == 1:
-        return [run_scenario(c) for c in configs]
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(configs))) as pool:
-        return list(pool.map(run_scenario, configs))
+    return run_configs(
+        [config.with_seed(seed) for seed in seeds], workers, executor
+    )
 
 
 def run_configs(
     configs: Sequence[ScenarioConfig],
     workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> List[RunResult]:
     """Run a heterogeneous batch of configs (optionally in parallel).
 
@@ -59,11 +65,10 @@ def run_configs(
     """
     if not configs:
         raise ValueError("need at least one config")
-    n_workers = workers if workers is not None else default_workers()
-    if n_workers <= 1 or len(configs) == 1:
-        return [run_scenario(c) for c in configs]
-    with ProcessPoolExecutor(max_workers=min(n_workers, len(configs))) as pool:
-        return list(pool.map(run_scenario, configs))
+    if executor is not None:
+        return executor.run(configs)
+    with ExperimentExecutor(workers=workers) as ephemeral:
+        return ephemeral.run(configs)
 
 
 def average_metric(

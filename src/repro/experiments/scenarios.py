@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
 from repro.core.params import PAPER_CONFIG, ProtocolConfig
+from repro.experiments.settings import profile_enabled
 from repro.core.sender_policy import ConformingPolicy, policy_for_pm
 from repro.mac.correct import CorrectMac
 from repro.mac.dcf import DcfMac
@@ -77,11 +78,16 @@ class ScenarioConfig:
 
 @dataclass
 class RunResult:
-    """Outcome of one simulation run."""
+    """Outcome of one simulation run.
+
+    ``event_counts`` holds the kernel's per-subsystem dispatch tallies
+    when the run was profiled (``REPRO_PROFILE``); empty otherwise.
+    """
 
     config: ScenarioConfig
     collector: MetricsCollector
     events_processed: int
+    event_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duration_us(self) -> int:
@@ -140,14 +146,18 @@ def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
     raise ValueError(f"unknown protocol {config.protocol!r}")
 
 
-def build_scenario(config: ScenarioConfig):
+def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None):
     """Construct (but do not run) a scenario; returns (sim, nodes, collector).
 
     Exposed separately from :func:`run_scenario` for tests that want
-    to poke at intermediate state.
+    to poke at intermediate state.  ``profile`` turns on the kernel's
+    per-subsystem event counters (default: the ``REPRO_PROFILE`` env
+    flag); counting never perturbs RNG streams or results.
     """
+    if profile is None:
+        profile = profile_enabled()
     topo = config.topology
-    sim = Simulator()
+    sim = Simulator(profile=profile)
     registry = RngRegistry(config.seed)
     medium = Medium(
         sim, ShadowingModel(), rng=registry.stream("shadowing"),
@@ -189,5 +199,7 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
         node.start()
     sim.run(until=config.duration_us)
     return RunResult(
-        config=config, collector=collector, events_processed=sim.events_processed
+        config=config, collector=collector,
+        events_processed=sim.events_processed,
+        event_counts=dict(sim.event_counts),
     )

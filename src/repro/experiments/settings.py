@@ -9,6 +9,20 @@ sanity scale regardless of other settings.
 
 The seed list is shared across data points, mirroring "the set of
 seeds used for different data points is the same".
+
+Beyond the scale selection this module also centralises the other
+``REPRO_*`` execution knobs so every layer reads them the same way:
+
+* ``REPRO_WORKERS`` — worker-process count (see
+  :func:`repro.experiments.executor.default_workers`);
+* ``REPRO_CACHE``   — enable the content-addressed run cache
+  (:mod:`repro.experiments.cache`);
+* ``REPRO_PROFILE`` — emit per-run wall-time / events-per-second
+  profiling from the executor (results are unchanged; the hooks only
+  count, they never touch RNG streams).
+
+A knob counts as "set" when its value is non-empty and not ``"0"``,
+so ``REPRO_CACHE=0`` is an explicit off.
 """
 
 from __future__ import annotations
@@ -93,3 +107,19 @@ def active_settings() -> EvalSettings:
     if os.environ.get("REPRO_FULL"):
         return PAPER_SETTINGS
     return DEFAULT_SETTINGS
+
+
+def env_flag(name: str) -> bool:
+    """True when env var ``name`` is set to a non-empty value != "0"."""
+    value = os.environ.get(name, "")
+    return bool(value) and value != "0"
+
+
+def profile_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for executor profiling output."""
+    return env_flag("REPRO_PROFILE")
+
+
+def cache_enabled() -> bool:
+    """Whether ``REPRO_CACHE`` enables the on-disk run cache."""
+    return env_flag("REPRO_CACHE")

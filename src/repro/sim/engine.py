@@ -24,8 +24,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
+
+# Heap entries are plain ``(time, seq, handle)`` tuples: ordering is
+# (time, sequence) so that events scheduled for the same timestamp fire
+# in FIFO order -- a property several MAC races rely on (e.g. two
+# stations whose backoff counters expire on the same slot boundary must
+# both observe an idle medium before either transmission begins).  The
+# monotonically increasing ``seq`` also guarantees tuple comparison
+# never reaches the (incomparable) handle element.  Tuples beat a
+# dataclass here: the scheduler allocates and compares one entry per
+# event, and this is the hottest allocation in the kernel.
 
 
 class SimulationError(RuntimeError):
@@ -34,22 +43,6 @@ class SimulationError(RuntimeError):
     Examples include scheduling an event in the past or running a
     simulator that was already stopped.
     """
-
-
-@dataclass(order=True)
-class _QueueEntry:
-    """Internal heap entry.
-
-    Ordering is (time, sequence) so that events scheduled for the same
-    timestamp fire in FIFO order -- a property several MAC races rely
-    on (e.g. two stations whose backoff counters expire on the same
-    slot boundary must both observe an idle medium before either
-    transmission begins).
-    """
-
-    time: int
-    seq: int
-    event: "EventHandle" = field(compare=False)
 
 
 class EventHandle:
@@ -87,16 +80,24 @@ class Simulator:
     until:
         Optional default horizon (microseconds) used by :meth:`run`
         when no explicit horizon is passed.
+    profile:
+        When true, tally dispatched events per subsystem (the module of
+        each callback) into :attr:`event_counts`.  Costs one dict
+        update per event, never touches any RNG, and is off by default
+        so the hot path stays lean.
     """
 
-    def __init__(self, until: Optional[int] = None):
+    def __init__(self, until: Optional[int] = None, profile: bool = False):
         self.now: int = 0
-        self._queue: list[_QueueEntry] = []
+        self._queue: list[tuple[int, int, EventHandle]] = []
         self._seq = itertools.count()
         self._default_until = until
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        #: Per-module dispatch counts; populated only under ``profile``.
+        self.event_counts: Dict[str, int] = {}
+        self._profile = profile
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -119,7 +120,7 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self.now}"
             )
         handle = EventHandle(time, callback)
-        heapq.heappush(self._queue, _QueueEntry(time, next(self._seq), handle))
+        heapq.heappush(self._queue, (time, next(self._seq), handle))
         return handle
 
     # ------------------------------------------------------------------
@@ -136,20 +137,28 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                entry = self._queue[0]
-                if horizon is not None and entry.time > horizon:
+            while queue and not self._stopped:
+                event_time = queue[0][0]
+                if horizon is not None and event_time > horizon:
                     break
-                heapq.heappop(self._queue)
-                event = entry.event
+                _, _, event = heappop(queue)
                 if event.cancelled:
                     continue
-                if entry.time < self.now:  # pragma: no cover - defensive
+                if event_time < self.now:  # pragma: no cover - defensive
                     raise SimulationError("event queue went backwards in time")
-                self.now = entry.time
+                self.now = event_time
                 event.fired = True
                 self.events_processed += 1
+                if self._profile:
+                    module = getattr(
+                        event.callback, "__module__", None
+                    ) or "unknown"
+                    self.event_counts[module] = (
+                        self.event_counts.get(module, 0) + 1
+                    )
                 event.callback()
             if horizon is not None and self.now < horizon and not self._stopped:
                 self.now = horizon
@@ -162,9 +171,9 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next pending event, or ``None`` if drained."""
-        while self._queue and self._queue[0].event.cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        return self._queue[0][0] if self._queue else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

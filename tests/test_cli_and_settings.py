@@ -8,6 +8,9 @@ from repro.experiments.settings import (
     PAPER_SETTINGS,
     QUICK_SETTINGS,
     active_settings,
+    cache_enabled,
+    env_flag,
+    profile_enabled,
 )
 
 
@@ -38,6 +41,20 @@ class TestSettings:
 
     def test_duration_seconds_property(self):
         assert PAPER_SETTINGS.duration_s == 50.0
+
+    def test_env_flag_semantics(self, monkeypatch):
+        monkeypatch.delenv("REPRO_X", raising=False)
+        assert not env_flag("REPRO_X")
+        monkeypatch.setenv("REPRO_X", "0")
+        assert not env_flag("REPRO_X")
+        monkeypatch.setenv("REPRO_X", "1")
+        assert env_flag("REPRO_X")
+
+    def test_cache_and_profile_flags(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert cache_enabled()
+        assert not profile_enabled()
 
 
 class TestCli:
@@ -78,3 +95,26 @@ class TestCli:
     def test_missing_subcommand_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_cache_inspect(self, tmp_path, capsys):
+        code = main(["cache", "--dir", str(tmp_path / "runs")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "entries:      0" in out
+        assert "code version:" in out
+
+    def test_cache_clear(self, tmp_path, capsys):
+        from repro.experiments.cache import RunCache
+        from repro.experiments.runner import run_seeds
+        from repro.experiments.scenarios import ScenarioConfig
+        from repro.net.topology import circle_topology
+
+        cache = RunCache(tmp_path / "runs")
+        cfg = ScenarioConfig(
+            topology=circle_topology(2), duration_us=300_000, seed=1
+        )
+        cache.put(cfg, run_seeds(cfg, (1,), workers=1)[0])
+        code = main(["cache", "--clear", "--dir", str(tmp_path / "runs")])
+        assert code == 0
+        assert "removed 1 cached run(s)" in capsys.readouterr().out
+        assert cache.entries() == []
