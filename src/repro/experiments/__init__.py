@@ -8,6 +8,8 @@ from repro.experiments.cache import (
 )
 from repro.experiments.executor import (
     ExperimentExecutor,
+    FailedRun,
+    RunFailedError,
     TaskBatch,
     default_workers,
 )
@@ -22,6 +24,7 @@ from repro.experiments.figures import (
     figure9a,
     figure9b,
     figure_delay,
+    figure_faults,
     generate_figures,
     intro_claim,
 )
@@ -52,8 +55,10 @@ from repro.experiments.settings import (
 __all__ = [
     "ALL_FIGURES",
     "ExperimentExecutor",
+    "FailedRun",
     "FigureResult",
     "RunCache",
+    "RunFailedError",
     "TaskBatch",
     "active_cache",
     "code_version",
@@ -68,6 +73,7 @@ __all__ = [
     "figure9a",
     "figure9b",
     "figure_delay",
+    "figure_faults",
     "intro_claim",
     "print_figure",
     "render_table",

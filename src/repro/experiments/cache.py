@@ -34,8 +34,9 @@ import json
 import os
 import pathlib
 import pickle
+import sys
 from functools import lru_cache
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set
 
 from repro.experiments.scenarios import RunResult, ScenarioConfig
 from repro.experiments.settings import cache_enabled
@@ -125,12 +126,40 @@ def cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro" / "runs"
 
 
+#: Directories already warned about (warn once per process, not once
+#: per sweep point).
+_WARNED_DIRS: Set[str] = set()
+
+
+def _warn_unwritable(directory: pathlib.Path, error: Exception) -> None:
+    key = str(directory)
+    if key in _WARNED_DIRS:
+        return
+    _WARNED_DIRS.add(key)
+    print(
+        f"[cache] warning: cache directory {directory} is unusable "
+        f"({type(error).__name__}: {error}); continuing uncached",
+        file=sys.stderr,
+    )
+
+
 class RunCache:
-    """One pickle per run, addressed by config + code-version digest."""
+    """One pickle per run, addressed by config + code-version digest.
+
+    An unusable directory (read-only filesystem, permission denied,
+    quota...) never aborts a sweep: the cache warns once on stderr,
+    marks itself :attr:`disabled`, and every subsequent ``get``/``put``
+    is a cheap no-op — runs simply execute uncached.
+    """
 
     def __init__(self, directory: os.PathLike | str):
         self.directory = pathlib.Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self.disabled = False
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            self.disabled = True
+            _warn_unwritable(self.directory, exc)
 
     # ------------------------------------------------------------------
     # Keying
@@ -153,6 +182,8 @@ class RunCache:
         Corrupt entries (interrupted writes, incompatible pickles) are
         deleted and treated as misses.
         """
+        if self.disabled:
+            return None
         try:
             path = self._path(self.key_for(config))
         except UncacheableConfigError:
@@ -163,15 +194,23 @@ class RunCache:
         except FileNotFoundError:
             return None
         except Exception:
-            path.unlink(missing_ok=True)
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
 
     def put(self, config: ScenarioConfig, result: RunResult) -> bool:
         """Store ``result``; returns False for uncacheable configs.
 
         Writes are atomic (tmp file + rename) so concurrent readers
-        never observe a partial entry.
+        never observe a partial entry.  A filesystem-level failure
+        (read-only mount, permissions, quota) disables the cache for
+        the rest of the process — with a single stderr warning —
+        instead of failing once per sweep point.
         """
+        if self.disabled:
+            return False
         try:
             path = self._path(self.key_for(config))
         except UncacheableConfigError:
@@ -181,6 +220,14 @@ class RunCache:
             with tmp.open("wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        except OSError as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.disabled = True
+            _warn_unwritable(self.directory, exc)
+            return False
         except Exception:
             tmp.unlink(missing_ok=True)
             return False

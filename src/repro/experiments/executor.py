@@ -19,6 +19,20 @@ with:
 Every run is fully determined by its config, so neither worker count,
 chunking, dedup nor caching can change results — only wall time.
 
+The executor also *supervises* its pool.  Tasks are submitted
+individually and watched: a run that exceeds ``run_timeout_s`` gets
+its worker killed and is retried (bounded, with capped exponential
+backoff); a worker that dies outright (``BrokenProcessPool``) costs
+nobody their results — the pool is respawned and only unfinished
+tasks are requeued, with the executor dropping to one-task-at-a-time
+quarantine so a deterministic crasher is blamed exactly rather than
+taking innocent tasks down with it.  A task that exhausts its retry
+budget becomes a :class:`FailedRun` placeholder: with
+``on_failure="flag"`` it flows back to the caller (figure harnesses
+render the point as FAILED and the CLI exits nonzero), with the
+default ``on_failure="raise"`` the batch raises
+:class:`RunFailedError` after completing everything else.
+
 With ``REPRO_PROFILE`` set, executed batches report per-run wall time,
 events processed and events/sec (plus a per-subsystem event breakdown
 when the kernel collected one) on stderr.  Profiling never touches RNG
@@ -27,11 +41,15 @@ streams; simulated results are bit-identical with it on or off.
 
 from __future__ import annotations
 
+import concurrent.futures as cf
 import os
 import sys
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.cache import (
     RunCache,
@@ -40,7 +58,11 @@ from repro.experiments.cache import (
     config_fingerprint,
 )
 from repro.experiments.scenarios import RunResult, ScenarioConfig, run_scenario
-from repro.experiments.settings import profile_enabled
+from repro.experiments.settings import (
+    max_retries as default_max_retries,
+    profile_enabled,
+    run_timeout_s as default_run_timeout_s,
+)
 
 
 def default_workers() -> int:
@@ -74,6 +96,40 @@ def _timed_run(config: ScenarioConfig) -> Tuple[RunResult, float]:
     return result, time.perf_counter() - start
 
 
+@dataclass
+class FailedRun:
+    """Placeholder result for a task that exhausted its retry budget.
+
+    Carries the config, the last error description and how many
+    attempts were made.  Sweep reducers treat it as a missing data
+    point (the figure is emitted with the point flagged ``FAILED``);
+    ``on_failure="raise"`` mode never returns one.
+    """
+
+    config: ScenarioConfig
+    error: str
+    attempts: int
+
+
+#: What a batch entry resolves to.
+RunOutcome = Union[RunResult, FailedRun]
+
+
+class RunFailedError(RuntimeError):
+    """A batch contained tasks that failed after all retries."""
+
+    def __init__(self, failures: List[FailedRun]):
+        self.failures = failures
+        lines = "\n".join(
+            f"  seed={f.config.seed} proto={f.config.protocol} "
+            f"attempts={f.attempts}: {f.error}"
+            for f in failures
+        )
+        super().__init__(
+            f"{len(failures)} run(s) failed after retries:\n{lines}"
+        )
+
+
 class ExperimentExecutor:
     """Persistent pool + cache front-end for scenario batches.
 
@@ -87,15 +143,34 @@ class ExperimentExecutor:
         (``REPRO_CACHE`` / ``REPRO_CACHE_DIR``; off by default).
     profile:
         Emit per-run profiling to stderr; defaults to ``REPRO_PROFILE``.
+    run_timeout_s:
+        Wall-clock budget per task; a run still going after this long
+        has its worker killed and counts as a (retryable) failure.
+        Defaults to ``REPRO_RUN_TIMEOUT``; ``None`` disables the
+        timeout.  Only enforced on the pool path (``workers >= 2``) —
+        in-process runs cannot be preempted, use the kernel watchdog
+        (``REPRO_MAX_WALL``) there instead.
+    max_retries:
+        Retries per task after its first failure (default:
+        ``REPRO_RETRIES`` or 2).  Retries back off exponentially from
+        ``retry_backoff_s``, capped at ``retry_backoff_cap_s``.
+    on_failure:
+        ``"raise"`` (default): a task exhausting its retries raises
+        :class:`RunFailedError` once the rest of the batch finished.
+        ``"flag"``: the task's slot holds a :class:`FailedRun` and the
+        batch returns normally (graceful figure degradation).
 
     The executor is reusable across many :meth:`run` calls — that is
     the point: one pool serves a whole figure, or every figure of a
     CLI invocation.  Use it as a context manager (or call
-    :meth:`close`) to shut the pool down.
+    :meth:`close`) to shut the pool down.  A pool lost to a crash or
+    timeout mid-batch is discarded and lazily recreated on the next
+    submission, so one poisoned batch never bricks the executor.
 
     ``runs_executed`` / ``cache_hits`` / ``dedup_hits`` count actual
     simulations versus avoided ones, and double as the run-count probe
-    the cache tests assert on.
+    the cache tests assert on.  ``runs_retried`` / ``runs_failed`` /
+    ``pool_respawns`` count supervision interventions.
     """
 
     def __init__(
@@ -103,17 +178,41 @@ class ExperimentExecutor:
         workers: Optional[int] = None,
         cache: Optional[RunCache] = None,
         profile: Optional[bool] = None,
+        run_timeout_s: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        retry_backoff_s: float = 0.5,
+        retry_backoff_cap_s: float = 8.0,
+        on_failure: str = "raise",
     ):
         self.workers = workers if workers is not None else default_workers()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if on_failure not in ("raise", "flag"):
+            raise ValueError(
+                f"on_failure must be 'raise' or 'flag', got {on_failure!r}"
+            )
         self.cache = cache if cache is not None else active_cache()
         self.profile = profile if profile is not None else profile_enabled()
+        self.run_timeout_s = (
+            run_timeout_s if run_timeout_s is not None
+            else default_run_timeout_s()
+        )
+        self.max_retries = (
+            max_retries if max_retries is not None else default_max_retries()
+        )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
+        self.on_failure = on_failure
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
         self.runs_executed = 0
         self.cache_hits = 0
         self.dedup_hits = 0
+        self.runs_retried = 0
+        self.runs_failed = 0
+        self.pool_respawns = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -125,10 +224,17 @@ class ExperimentExecutor:
         self.close()
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool (idempotent).
+
+        Safe to call repeatedly and safe on a pool whose workers died:
+        shutdown errors on an already-broken pool are swallowed.
+        """
         self._closed = True
         if self._pool is not None:
-            self._pool.shutdown()
+            try:
+                self._pool.shutdown()
+            except Exception:  # pragma: no cover - broken-pool teardown
+                pass
             self._pool = None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -138,21 +244,46 @@ class ExperimentExecutor:
             self._pool = ProcessPoolExecutor(max_workers=self.workers)
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Forget a dead pool; the next submission recreates one."""
+        pool = self._pool
+        if pool is None:
+            return
+        self.pool_respawns += 1
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken-pool teardown
+            pass
+        self._pool = None
+
+    def _kill_pool(self) -> None:
+        """Terminate all workers (hung-task escalation), then discard."""
+        pool = self._pool
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.terminate()
+            except Exception:  # pragma: no cover - racing process exit
+                pass
+        self._discard_pool()
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, configs: Sequence[ScenarioConfig]) -> List[RunResult]:
+    def run(self, configs: Sequence[ScenarioConfig]) -> List[RunOutcome]:
         """Run a batch of configs; results come back in input order.
 
         Each config is satisfied, in priority order, by (1) an earlier
         identical config in the same batch, (2) the run cache, or
         (3) an actual simulation on the pool.  Fresh simulations are
-        written back to the cache.
+        written back to the cache.  Under ``on_failure="flag"`` a slot
+        may hold a :class:`FailedRun` instead of a result.
         """
         if self._closed:
             raise RuntimeError("executor is closed")
         configs = list(configs)
-        results: List[Optional[RunResult]] = [None] * len(configs)
+        results: List[Optional[RunOutcome]] = [None] * len(configs)
         pending: List[int] = []           # indices that must simulate
         first_seen: Dict[str, int] = {}   # fingerprint -> first index
         aliases: List[Tuple[int, int]] = []   # (dup index, source index)
@@ -176,27 +307,199 @@ class ExperimentExecutor:
             pending.append(index)
         if pending:
             timed = self._execute([configs[i] for i in pending])
-            for index, (result, wall_s) in zip(pending, timed):
-                results[index] = result
-                self.runs_executed += 1
-                if self.cache is not None:
-                    self.cache.put(configs[index], result)
+            for index, (outcome, wall_s) in zip(pending, timed):
+                results[index] = outcome
+                if isinstance(outcome, RunResult):
+                    self.runs_executed += 1
+                    if self.cache is not None:
+                        self.cache.put(configs[index], outcome)
             if self.profile:
                 self._report([configs[i] for i in pending], timed)
         for dup, source in aliases:
             results[dup] = results[source]
+        failures = [r for r in results if isinstance(r, FailedRun)]
+        if failures and self.on_failure == "raise":
+            raise RunFailedError(failures)
         return results  # type: ignore[return-value]
 
     def _execute(
         self, configs: List[ScenarioConfig]
-    ) -> List[Tuple[RunResult, float]]:
-        if self.workers <= 1 or len(configs) == 1:
-            return [_timed_run(config) for config in configs]
-        pool = self._ensure_pool()
-        # Small chunks load-balance heterogeneous run costs (a 64-node
-        # point costs ~50x a 1-node point) at modest IPC overhead.
-        chunksize = max(1, len(configs) // (self.workers * 4))
-        return list(pool.map(_timed_run, configs, chunksize=chunksize))
+    ) -> List[Tuple[RunOutcome, float]]:
+        # Inline only when the executor itself is single-worker: a
+        # pool-backed executor must isolate even a one-config batch,
+        # otherwise a crashing run takes the parent process with it.
+        if self.workers <= 1:
+            return [self._run_inline(config) for config in configs]
+        return self._run_supervised(configs)
+
+    def _backoff(self, attempts: int) -> None:
+        """Sleep the capped exponential backoff before retry ``attempts``."""
+        delay = min(
+            self.retry_backoff_cap_s,
+            self.retry_backoff_s * (2 ** (attempts - 1)),
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_inline(self, config: ScenarioConfig) -> Tuple[RunOutcome, float]:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return _timed_run(config)
+            except Exception as exc:
+                if attempts > self.max_retries:
+                    self.runs_failed += 1
+                    return (
+                        FailedRun(
+                            config=config,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=attempts,
+                        ),
+                        0.0,
+                    )
+                self.runs_retried += 1
+                self._backoff(attempts)
+
+    def _run_supervised(
+        self, configs: List[ScenarioConfig]
+    ) -> List[Tuple[RunOutcome, float]]:
+        """Submit-per-task pool execution with timeouts and crash recovery.
+
+        The loop keeps a queue of ``(index, retries_used)`` entries and
+        a map of in-flight futures.  Three failure paths:
+
+        * a task raising inside the worker — retried with backoff until
+          the budget is spent, then a :class:`FailedRun`;
+        * a task exceeding ``run_timeout_s`` — every worker is killed
+          (there is no way to preempt just one), the *hung* task is
+          blamed and retried/failed, all other in-flight tasks are
+          requeued without blame;
+        * the pool breaking (a worker died, e.g. ``os._exit`` or OOM
+          kill) — ``BrokenProcessPool`` surfaces on *every* in-flight
+          future, so the culprit is unknowable.  Nobody is blamed; all
+          unfinished tasks are requeued and the executor enters
+          *quarantine*: one task in flight at a time, so a repeat
+          crash identifies its task exactly.
+
+        Quarantine persists for the rest of the batch; pool respawns
+        are additionally capped (defensive backstop) so even a host
+        that kills every worker cannot loop forever.
+        """
+        outcomes: List[Optional[Tuple[RunOutcome, float]]] = (
+            [None] * len(configs)
+        )
+        queue = deque((i, 0) for i in range(len(configs)))
+        inflight: Dict[cf.Future, Tuple[int, int]] = {}
+        started: Dict[cf.Future, float] = {}
+        quarantine = False
+        max_respawns = len(configs) * (self.max_retries + 1) + 2
+
+        def settle(index: int, retries_used: int, error: str) -> None:
+            """Blame a task: retry it or convert it to a FailedRun."""
+            if retries_used < self.max_retries:
+                self.runs_retried += 1
+                self._backoff(retries_used + 1)
+                queue.append((index, retries_used + 1))
+            else:
+                self.runs_failed += 1
+                outcomes[index] = (
+                    FailedRun(
+                        config=configs[index],
+                        error=error,
+                        attempts=retries_used + 1,
+                    ),
+                    0.0,
+                )
+
+        while queue or inflight:
+            while queue and not (quarantine and inflight):
+                index, retries_used = queue.popleft()
+                if self.pool_respawns >= max_respawns:
+                    settle(
+                        index, self.max_retries,
+                        "pool respawn budget exhausted",
+                    )
+                    continue
+                future = self._ensure_pool().submit(
+                    _timed_run, configs[index]
+                )
+                inflight[future] = (index, retries_used)
+            if not inflight:
+                continue
+            tick = (
+                None if self.run_timeout_s is None
+                else max(0.01, min(0.05, self.run_timeout_s / 4))
+            )
+            done, _ = cf.wait(
+                list(inflight), timeout=tick,
+                return_when=cf.FIRST_COMPLETED,
+            )
+            now = time.monotonic()
+            broken = False
+            for future in done:
+                index, retries_used = inflight.pop(future)
+                started.pop(future, None)
+                try:
+                    outcomes[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    if quarantine:
+                        # Exactly one task was in flight: exact blame.
+                        settle(index, retries_used, "worker crashed")
+                    else:
+                        queue.append((index, retries_used))
+                except cf.CancelledError:
+                    queue.append((index, retries_used))
+                except Exception as exc:
+                    settle(
+                        index, retries_used,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+            if broken:
+                # Every other in-flight future is doomed too; requeue
+                # them unblamed and respawn under quarantine.
+                for future, (index, retries_used) in inflight.items():
+                    queue.append((index, retries_used))
+                inflight.clear()
+                started.clear()
+                self._discard_pool()
+                quarantine = True
+                continue
+            if self.run_timeout_s is None:
+                continue
+            # Hang detection: blame only futures a worker picked up
+            # longer than the budget ago; queued-but-unstarted tasks
+            # are merely waiting for a slot.
+            for future in inflight:
+                if future not in started and future.running():
+                    started[future] = now
+            hung = [
+                future for future, t0 in started.items()
+                if future in inflight and now - t0 > self.run_timeout_s
+            ]
+            if hung:
+                self._kill_pool()
+                for future in hung:
+                    index, retries_used = inflight.pop(future)
+                    settle(
+                        index, retries_used,
+                        f"timeout after {self.run_timeout_s:g}s",
+                    )
+                for future, (index, retries_used) in inflight.items():
+                    queue.append((index, retries_used))
+                inflight.clear()
+                started.clear()
+        # Defensive: every slot must have been settled by the loop.
+        return [
+            outcome if outcome is not None else (
+                FailedRun(
+                    config=configs[i], error="internal: task lost",
+                    attempts=0,
+                ), 0.0,
+            )
+            for i, outcome in enumerate(outcomes)
+        ]
 
     # ------------------------------------------------------------------
     # Profiling
@@ -204,13 +507,20 @@ class ExperimentExecutor:
     def _report(
         self,
         configs: List[ScenarioConfig],
-        timed: List[Tuple[RunResult, float]],
+        timed: List[Tuple[RunOutcome, float]],
     ) -> None:
         out = sys.stderr
         total_wall = 0.0
         total_events = 0
         subsystems: Dict[str, int] = {}
         for config, (result, wall_s) in zip(configs, timed):
+            if isinstance(result, FailedRun):
+                print(
+                    f"[profile] seed={config.seed} proto={config.protocol} "
+                    f"FAILED after {result.attempts} attempts: {result.error}",
+                    file=out,
+                )
+                continue
             rate = result.events_processed / wall_s if wall_s > 0 else 0.0
             total_wall += wall_s
             total_events += result.events_processed
@@ -320,6 +630,8 @@ class TaskBatch:
 __all__ = [
     "BatchHandle",
     "ExperimentExecutor",
+    "FailedRun",
+    "RunFailedError",
     "TaskBatch",
     "default_workers",
 ]

@@ -37,6 +37,7 @@ from repro.experiments.scenarios import (
     ScenarioConfig,
 )
 from repro.experiments.settings import DEFAULT_SETTINGS, EvalSettings
+from repro.faults import FaultProfile, FrameLossFault
 from repro.metrics.stats import elementwise_mean, mean, summarize
 from repro.net.topology import circle_topology, random_topology
 
@@ -52,6 +53,13 @@ class FigureResult:
     of (x, y) pairs; ``errors`` optionally holds the 95% CI half-width
     across seeds for the same (series, x).  ``meta`` carries free-form
     annotations such as the scale the figure was generated at.
+
+    ``failed_points`` records sweep points whose runs (some or all)
+    came back as :class:`~repro.experiments.executor.FailedRun` under
+    the executor's ``on_failure="flag"`` mode: a point that still has
+    surviving seeds is *degraded* (rendered with a ``*``), one with no
+    survivors is absent from ``series`` and rendered as ``FAILED``.
+    ``None`` as the x marks a whole series as degraded.
     """
 
     figure_id: str
@@ -61,6 +69,9 @@ class FigureResult:
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     errors: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
+    failed_points: Dict[str, List[Optional[float]]] = field(
+        default_factory=dict
+    )
 
     def add_point(
         self, series_name: str, x: float, y: float,
@@ -69,6 +80,21 @@ class FigureResult:
         self.series.setdefault(series_name, []).append((x, y))
         if error is not None:
             self.errors.setdefault(series_name, []).append((x, error))
+
+    def mark_failed(self, series_name: str, x: Optional[float] = None) -> None:
+        """Record that runs behind (series, x) failed (None: whole series)."""
+        self.failed_points.setdefault(series_name, []).append(x)
+
+    @property
+    def has_failures(self) -> bool:
+        """Whether any sweep point lost runs to execution failures."""
+        return any(self.failed_points.values())
+
+    def is_failed(self, series_name: str, x: float) -> bool:
+        """Whether (series, x) lost *all* its runs (no y value exists)."""
+        if x not in self.failed_points.get(series_name, ()):  # fast path
+            return False
+        return all(px != x for px, _ in self.series.get(series_name, ()))
 
     def error_at(self, series_name: str, x: float) -> Optional[float]:
         """The recorded CI half-width for one point, if any."""
@@ -93,20 +119,35 @@ def _scale_meta(settings: EvalSettings) -> Dict[str, object]:
     }
 
 
+def _ok(results: Sequence[object]) -> List[RunResult]:
+    """The actual results of a batch slice (drops FailedRun entries)."""
+    return [r for r in results if isinstance(r, RunResult)]
+
+
 def _avg(results: Sequence[RunResult], metric) -> float:
-    return mean([metric(r) for r in results])
+    return mean([metric(r) for r in _ok(results)])
 
 
 def _add_stat_point(
     fig: FigureResult,
     name: str,
     x: float,
-    results: Sequence[RunResult],
+    results: Sequence[object],
     metric,
     scale: float = 1.0,
 ) -> None:
-    """Add the across-seed mean of a metric, with its 95% CI."""
-    stats = summarize([metric(r) for r in results])
+    """Add the across-seed mean of a metric, with its 95% CI.
+
+    Failed runs (``on_failure="flag"`` placeholders) are dropped from
+    the statistic and recorded on the figure: the point is degraded
+    when some seeds survive, and omitted entirely when none do.
+    """
+    ok = _ok(results)
+    if len(ok) < len(results):
+        fig.mark_failed(name, x)
+    if not ok:
+        return
+    stats = summarize([metric(r) for r in ok])
     fig.add_point(name, x, stats.mean * scale, error=stats.ci95 * scale)
 
 
@@ -371,13 +412,18 @@ def _figure8_plan(settings: EvalSettings, batch: TaskBatch):
         points.append((pm, batch.add_seeds(config, settings.seeds)))
     yield
     for pm, handle in points:
+        ok = _ok(handle.results)
+        name = f"PM={pm:.0f}%"
+        if len(ok) < len(handle.results):
+            fig.mark_failed(name)
+        if not ok:
+            continue
         series = elementwise_mean([
             r.collector.diagnosis_time_series(
                 settings.fig8_bin_us, settings.duration_us
             )
-            for r in handle.results
+            for r in ok
         ])
-        name = f"PM={pm:.0f}%"
         for i, value in enumerate(series):
             fig.add_point(name, i * settings.fig8_bin_us / 1_000_000, value)
     return fig
@@ -482,6 +528,9 @@ def _figure9b_plan(settings: EvalSettings, batch: TaskBatch):
     yield
     baselines = []
     for topo_index, result in enumerate(honest.results):
+        if not isinstance(result, RunResult):
+            fig.mark_failed("cheaters fair share")
+            continue
         tps = result.throughputs()
         baselines.extend(
             tps[n] for n in designated[topo_index] if n in tps
@@ -540,8 +589,13 @@ def _intro_claim_plan(settings: EvalSettings, batch: TaskBatch):
     )
     cheated_handle = batch.add_seeds(cheated, settings.seeds)
     yield
+    if len(_ok(baseline_handle.results)) < len(baseline_handle.results):
+        fig.mark_failed("fair share (all honest)", 0)
+    if len(_ok(cheated_handle.results)) < len(cheated_handle.results):
+        fig.mark_failed("honest AVG with cheater", 1)
+        fig.mark_failed("cheater (MSB)", 2)
     fair = _avg(baseline_handle.results, lambda r: r.avg_throughput_bps)
-    results = cheated_handle.results
+    results = _ok(cheated_handle.results)
     fig.add_point("fair share (all honest)", 0, fair / 1000.0)
     fig.add_point(
         "honest AVG with cheater", 1,
@@ -598,7 +652,13 @@ def _figure_delay_plan(settings: EvalSettings, batch: TaskBatch):
             )
     yield
     for label, pm, handle in points:
-        results = handle.results
+        results = _ok(handle.results)
+        if len(results) < len(handle.results):
+            fig.mark_failed(f"{label} - AVG", pm)
+            if pm > 0:
+                fig.mark_failed(f"{label} - MSB", pm)
+        if not results:
+            continue
         msb_delays = [
             r.collector.mean_delay_us(MISBEHAVING_NODE) for r in results
         ]
@@ -632,6 +692,69 @@ def figure_delay(
     return _materialize(_figure_delay_plan, settings, workers, executor)
 
 
+# ----------------------------------------------------------------------
+# Extension figure: diagnosis robustness vs channel fault rate
+# ----------------------------------------------------------------------
+def _figure_faults_plan(settings: EvalSettings, batch: TaskBatch):
+    fig = FigureResult(
+        figure_id="faults",
+        title="Diagnosis robustness under CTS/ACK loss (fault injection)",
+        x_label="CTS/ACK loss rate",
+        y_label="percentage of packets",
+        meta=_scale_meta(settings),
+    )
+    points = []
+    for rate in settings.fault_loss_rates:
+        topo = circle_topology(
+            8, misbehaving=(MISBEHAVING_NODE,), pm_percent=60.0,
+            with_interferers=True,
+        )
+        faults = (
+            FaultProfile(
+                frame_loss=(
+                    FrameLossFault(rate=rate, frame_kinds=("cts", "ack")),
+                ),
+            )
+            if rate > 0.0 else None
+        )
+        config = ScenarioConfig(
+            topology=topo, protocol=PROTOCOL_CORRECT,
+            duration_us=settings.duration_us, faults=faults,
+        )
+        points.append((rate, batch.add_seeds(config, settings.seeds)))
+    yield
+    for rate, handle in points:
+        results = handle.results
+        _add_stat_point(
+            fig, "correct diagnosis", rate, results,
+            lambda r: r.correct_diagnosis_percent,
+        )
+        _add_stat_point(
+            fig, "misdiagnosis", rate, results,
+            lambda r: r.misdiagnosis_percent,
+        )
+    return fig
+
+
+def figure_faults(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Diagnosis accuracy vs CTS/ACK loss rate (fault-injection study).
+
+    Section 4.2 calls the loss of a CTS/ACK — the frames that carry
+    the assigned backoff — the scheme's hardest case: the sender never
+    learns its assignment, so the receiver's next observation compares
+    against the wrong reference.  The paper only gestures at this; here
+    the :mod:`repro.faults` layer drops exactly those frames at a swept
+    rate (PM fixed at 60% in the TWO-FLOW circle) to measure how fast
+    correct diagnosis erodes and misdiagnosis of honest senders grows
+    as the channel degrades.
+    """
+    return _materialize(_figure_faults_plan, settings, workers, executor)
+
+
 #: Planner registry backing :func:`generate_figures`.
 PLANNERS = {
     "fig4": _figure4_plan,
@@ -643,6 +766,7 @@ PLANNERS = {
     "fig9b": _figure9b_plan,
     "intro": _intro_claim_plan,
     "delay": _figure_delay_plan,
+    "faults": _figure_faults_plan,
 }
 
 #: Registry used by the report CLI and the benchmark suite.
@@ -656,4 +780,5 @@ ALL_FIGURES = {
     "fig9b": figure9b,
     "intro": intro_claim,
     "delay": figure_delay,
+    "faults": figure_faults,
 }

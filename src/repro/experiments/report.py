@@ -15,20 +15,42 @@ from repro.experiments.figures import FigureResult
 
 
 def render_table(fig: FigureResult, precision: int = 1) -> str:
-    """Format a figure as a fixed-width ASCII table."""
+    """Format a figure as a fixed-width ASCII table.
+
+    Sweep points that lost runs to execution failures (see
+    ``FigureResult.failed_points``) render as ``FAILED`` when no seed
+    survived, or with a ``*`` suffix when the value was computed from
+    a reduced seed set; a legend line is appended whenever either
+    marker appears.  Figures without failures render exactly as they
+    always have.
+    """
     series_names = list(fig.series)
-    xs: List[float] = sorted({x for pts in fig.series.values() for x, _ in pts})
+    for name in fig.failed_points:
+        if name not in fig.series:
+            series_names.append(name)
+    xs: List[float] = sorted(
+        {x for pts in fig.series.values() for x, _ in pts}
+        | {
+            x for marks in fig.failed_points.values()
+            for x in marks if x is not None
+        }
+    )
     lookup: Dict[str, Dict[float, float]] = {
         name: dict(points) for name, points in fig.series.items()
     }
-    header = [fig.x_label] + series_names
     rows = []
     for x in xs:
         row = [f"{x:g}"]
         for name in series_names:
-            value = lookup[name].get(x)
-            row.append("-" if value is None else f"{value:.{precision}f}")
+            value = lookup.get(name, {}).get(x)
+            failed = x in fig.failed_points.get(name, ())
+            if value is None:
+                row.append("FAILED" if failed else "-")
+            else:
+                cell = f"{value:.{precision}f}"
+                row.append(cell + "*" if failed else cell)
         rows.append(row)
+    header = [fig.x_label] + series_names
     widths = [
         max(len(header[i]), max((len(r[i]) for r in rows), default=0))
         for i in range(len(header))
@@ -41,6 +63,18 @@ def render_table(fig: FigureResult, precision: int = 1) -> str:
     ]
     for row in rows:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    if fig.has_failures:
+        degraded_series = sorted(
+            name for name, marks in fig.failed_points.items()
+            if None in marks
+        )
+        note = (
+            "   FAILED: all runs of the point failed; "
+            "*: some runs failed, value from surviving seeds"
+        )
+        if degraded_series:
+            note += f"; degraded series: {', '.join(degraded_series)}"
+        lines.append(note)
     return "\n".join(lines)
 
 
@@ -58,6 +92,10 @@ def to_json(fig: FigureResult) -> str:
             },
             "errors": {
                 name: sorted(points) for name, points in fig.errors.items()
+            },
+            "failed_points": {
+                name: sorted(marks, key=lambda m: (m is None, m))
+                for name, marks in fig.failed_points.items()
             },
         },
         indent=2,

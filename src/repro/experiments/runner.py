@@ -12,13 +12,24 @@ so every point reuses one persistent pool (and the run cache) instead
 of paying pool spawn/teardown per point — the figure harnesses go one
 step further and flatten entire figures into a single
 :class:`~repro.experiments.executor.TaskBatch`.
+
+With an executor constructed under ``on_failure="flag"``, entries in
+the returned lists may be :class:`~repro.experiments.executor.FailedRun`
+placeholders for runs that exhausted their retries;
+:func:`average_metric` skips them so partially degraded seed sets
+still average (callers wanting stricter behaviour keep the default
+``on_failure="raise"``).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, List, Optional, Sequence
 
-from repro.experiments.executor import ExperimentExecutor, default_workers
+from repro.experiments.executor import (
+    ExperimentExecutor,
+    RunOutcome,
+    default_workers,
+)
 from repro.experiments.scenarios import RunResult, ScenarioConfig
 
 __all__ = [
@@ -38,7 +49,7 @@ def run_seeds(
     seeds: Sequence[int],
     workers: Optional[int] = None,
     executor: Optional[ExperimentExecutor] = None,
-) -> List[RunResult]:
+) -> List[RunOutcome]:
     """Run the scenario once per seed (optionally in parallel).
 
     Results come back in seed order regardless of scheduling.  With
@@ -57,7 +68,7 @@ def run_configs(
     configs: Sequence[ScenarioConfig],
     workers: Optional[int] = None,
     executor: Optional[ExperimentExecutor] = None,
-) -> List[RunResult]:
+) -> List[RunOutcome]:
     """Run a heterogeneous batch of configs (optionally in parallel).
 
     Used for sweeps where the topology itself varies (Figure 9's 30
@@ -72,10 +83,17 @@ def run_configs(
 
 
 def average_metric(
-    results: Iterable[RunResult], metric: Callable[[RunResult], float]
+    results: Iterable[RunOutcome], metric: Callable[[RunResult], float]
 ) -> float:
-    """Mean of a per-run metric over the runs."""
-    values = [metric(result) for result in results]
+    """Mean of a per-run metric over the *successful* runs.
+
+    :class:`FailedRun` placeholders (flag-mode executors) are skipped;
+    raises when no run succeeded.
+    """
+    values = [
+        metric(result) for result in results
+        if isinstance(result, RunResult)
+    ]
     if not values:
         raise ValueError("no results to average")
     return sum(values) / len(values)

@@ -12,10 +12,12 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
 from repro.core.params import PAPER_CONFIG, ProtocolConfig
-from repro.experiments.settings import profile_enabled
+from repro.experiments.settings import profile_enabled, watchdog_from_env
 from repro.core.sender_policy import ConformingPolicy, policy_for_pm
+from repro.faults import FaultInjector, FaultProfile
 from repro.mac.correct import CorrectMac
 from repro.mac.dcf import DcfMac
+from repro.mac.timing import with_clock_drift
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.fairness import jain_index
 from repro.net.node import Node, build_node
@@ -24,7 +26,7 @@ from repro.net.traffic import BackloggedSource, CbrSource
 from repro.phy.constants import PhyTimings
 from repro.phy.medium import Medium
 from repro.phy.propagation import ShadowingModel
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Watchdog
 from repro.sim.rng import RngRegistry
 
 #: Known protocol names.
@@ -56,6 +58,12 @@ class ScenarioConfig:
     enable_attempt_audit / audit_sender_assignments / refuse_diagnosed:
         CORRECT extension switches (off by default, as in the paper's
         main evaluation).
+    faults:
+        Optional :class:`~repro.faults.FaultProfile`.  ``None`` or a
+        no-op profile means the fault layer is entirely absent: no
+        injector object, no fault RNG streams, results bit-identical
+        to pre-fault builds.  Participates in cache fingerprints like
+        every other field.
     """
 
     topology: Topology
@@ -70,6 +78,7 @@ class ScenarioConfig:
     refuse_diagnosed: bool = False
     adaptive_thresh: bool = False
     use_rts_cts: bool = True
+    faults: Optional[FaultProfile] = None
 
     def with_seed(self, seed: int) -> "ScenarioConfig":
         """Copy of this config under a different seed."""
@@ -88,6 +97,9 @@ class RunResult:
     collector: MetricsCollector
     events_processed: int
     event_counts: Dict[str, int] = field(default_factory=dict)
+    #: Nonzero fault-injector counters (frames dropped/corrupted, jam
+    #: bursts, crashes...); empty when the run had no fault profile.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
 
     @property
     def duration_us(self) -> int:
@@ -125,17 +137,20 @@ class RunResult:
 
 
 def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
-              node_id: int, policy: ConformingPolicy):
+              node_id: int, policy: ConformingPolicy,
+              timings: Optional[PhyTimings] = None):
     if config.protocol == PROTOCOL_80211:
         return DcfMac(
             sim, medium, node_id, registry, collector,
             payload_bytes=config.payload_bytes, policy=policy,
+            timings=timings,
             use_rts_cts=config.use_rts_cts,
         )
     if config.protocol == PROTOCOL_CORRECT:
         return CorrectMac(
             sim, medium, node_id, registry, collector,
             payload_bytes=config.payload_bytes, policy=policy,
+            timings=timings,
             use_rts_cts=config.use_rts_cts,
             config=config.protocol_config,
             enable_attempt_audit=config.enable_attempt_audit,
@@ -146,18 +161,36 @@ def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
     raise ValueError(f"unknown protocol {config.protocol!r}")
 
 
-def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None):
+def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None,
+                   watchdog: Optional[Watchdog] = None):
     """Construct (but do not run) a scenario; returns (sim, nodes, collector).
 
     Exposed separately from :func:`run_scenario` for tests that want
     to poke at intermediate state.  ``profile`` turns on the kernel's
     per-subsystem event counters (default: the ``REPRO_PROFILE`` env
     flag); counting never perturbs RNG streams or results.
+    ``watchdog`` arms the kernel's guarded loop (default: whatever
+    ``REPRO_MAX_EVENTS``/``REPRO_MAX_WALL`` ask for); the guards only
+    raise, they never perturb results either.
+
+    When ``config.faults`` is set (and not a no-op) a
+    :class:`~repro.faults.FaultInjector` is built, wired into the
+    medium and MACs, and left on ``sim.fault_injector`` for callers
+    that want its counters.
     """
     if profile is None:
         profile = profile_enabled()
+    if watchdog is None:
+        watchdog = watchdog_from_env()
+    faults = config.faults
+    if faults is not None and faults.is_noop():
+        faults = None
+    drifts = (
+        {d.node: d.drift_ppm for d in faults.clock_drifts} if faults else {}
+    )
     topo = config.topology
-    sim = Simulator(profile=profile)
+    sim = Simulator(profile=profile, watchdog=watchdog)
+    sim.fault_injector = None
     registry = RngRegistry(config.seed)
     medium = Medium(
         sim, ShadowingModel(), rng=registry.stream("shadowing"),
@@ -187,8 +220,17 @@ def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None):
         else:
             policy = ConformingPolicy()
             source = None
-        mac = _make_mac(config, sim, medium, registry, collector, node_id, policy)
+        node_timings = (
+            with_clock_drift(medium.timings, drifts[node_id])
+            if node_id in drifts else None
+        )
+        mac = _make_mac(config, sim, medium, registry, collector, node_id,
+                        policy, timings=node_timings)
         nodes.append(build_node(medium, mac, topo.positions[node_id], source))
+    if faults is not None:
+        injector = FaultInjector(sim, registry, faults)
+        injector.install(medium, {node.mac.node_id: node.mac for node in nodes})
+        sim.fault_injector = injector
     return sim, nodes, collector
 
 
@@ -198,8 +240,10 @@ def run_scenario(config: ScenarioConfig) -> RunResult:
     for node in nodes:
         node.start()
     sim.run(until=config.duration_us)
+    injector = sim.fault_injector
     return RunResult(
         config=config, collector=collector,
         events_processed=sim.events_processed,
         event_counts=dict(sim.event_counts),
+        faults_injected=injector.summary() if injector is not None else {},
     )

@@ -19,7 +19,16 @@ Beyond the scale selection this module also centralises the other
   (:mod:`repro.experiments.cache`);
 * ``REPRO_PROFILE`` — emit per-run wall-time / events-per-second
   profiling from the executor (results are unchanged; the hooks only
-  count, they never touch RNG streams).
+  count, they never touch RNG streams);
+* ``REPRO_RUN_TIMEOUT`` — per-run wall-clock timeout in seconds
+  enforced by the executor's supervision loop (unset: no timeout);
+* ``REPRO_RETRIES`` — retry budget per task for transient worker
+  failures (default 2);
+* ``REPRO_MAX_EVENTS`` / ``REPRO_MAX_WALL`` — kernel watchdog budgets
+  (events per run / wall seconds per run); setting either arms a
+  :class:`repro.sim.engine.Watchdog` inside every scenario build, so
+  a stuck simulation raises ``SimulationStalled`` with an event trace
+  instead of spinning forever.
 
 A knob counts as "set" when its value is non-empty and not ``"0"``,
 so ``REPRO_CACHE=0`` is an explicit off.
@@ -29,7 +38,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
+
+from repro.sim.engine import Watchdog
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,9 @@ class EvalSettings:
         Number of random placements for Figure 9 (30 in the paper).
     random_nodes / random_misbehaving:
         Random-topology population (40 nodes, 5 misbehaving).
+    fault_loss_rates:
+        ACK/CTS loss-rate sweep of the fault-robustness figure
+        (``figure_faults``); 0.0 is the clean reference point.
     """
 
     duration_us: int
@@ -66,6 +80,7 @@ class EvalSettings:
     random_topologies: int = 30
     random_nodes: int = 40
     random_misbehaving: int = 5
+    fault_loss_rates: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4)
 
     @property
     def duration_s(self) -> float:
@@ -97,6 +112,7 @@ QUICK_SETTINGS = EvalSettings(
     random_topologies=2,
     random_nodes=20,
     random_misbehaving=3,
+    fault_loss_rates=(0.0, 0.3),
 )
 
 
@@ -123,3 +139,40 @@ def profile_enabled() -> bool:
 def cache_enabled() -> bool:
     """Whether ``REPRO_CACHE`` enables the on-disk run cache."""
     return env_flag("REPRO_CACHE")
+
+
+def _env_number(name: str, cast, minimum):
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = cast(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def run_timeout_s() -> Optional[float]:
+    """Per-run timeout from ``REPRO_RUN_TIMEOUT`` (None: no timeout)."""
+    return _env_number("REPRO_RUN_TIMEOUT", float, 0.001)
+
+
+def max_retries() -> int:
+    """Retry budget per task from ``REPRO_RETRIES`` (default 2)."""
+    value = _env_number("REPRO_RETRIES", int, 0)
+    return 2 if value is None else value
+
+
+def watchdog_from_env() -> Optional[Watchdog]:
+    """Kernel watchdog from ``REPRO_MAX_EVENTS`` / ``REPRO_MAX_WALL``.
+
+    Returns ``None`` (no guarded loop, zero overhead) when neither
+    knob is set.
+    """
+    max_events = _env_number("REPRO_MAX_EVENTS", int, 1)
+    max_wall = _env_number("REPRO_MAX_WALL", float, 0.001)
+    if max_events is None and max_wall is None:
+        return None
+    return Watchdog(max_events=max_events, max_wall_s=max_wall)

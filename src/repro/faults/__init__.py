@@ -1,0 +1,54 @@
+"""Deterministic, seeded fault injection for the simulator.
+
+The paper's detection/correction/diagnosis schemes are explicitly
+stressed by imperfect channels: a lost CTS/ACK silently discards the
+assigned backoff it carries (Section 4.2's hardest case), noise bursts
+corrupt the receiver's idle-slot estimate, and nodes that crash or
+whose slot clocks drift look — to the receiver — exactly like
+misbehaving senders.  The shadowing medium produces such faults only
+implicitly; this package makes them *first-class and controllable*:
+
+* :class:`FrameLossFault` / :class:`FrameCorruptionFault` — per-link
+  loss/corruption (optionally bursty) targetable at specific frame
+  kinds, e.g. "drop 20% of ACKs toward node 3";
+* :class:`JammingFault` — Poisson noise bursts at the medium that
+  raise carrier everywhere and destroy overlapping frames;
+* :class:`NodeCrashFault` — crash/restart schedules for a node's MAC;
+* :class:`ClockDriftFault` — slot-clock drift on one node's timing.
+
+All models are bundled in a :class:`FaultProfile` (a frozen, hashable
+config that rides inside ``ScenarioConfig`` and therefore participates
+in run-cache fingerprints) and driven by a :class:`FaultInjector`
+wired up by :func:`repro.experiments.scenarios.build_scenario`.
+
+Determinism contract: every fault model draws from its own *named* RNG
+stream (``faults/frame_loss``, ``faults/corruption``,
+``faults/jamming``), so (a) a faulted run is exactly reproducible from
+``(scenario, seed)`` and (b) with faults disabled no fault stream is
+ever created or drawn — all existing results stay bit-identical.
+
+:func:`parse_profile` builds a profile from a compact CLI spec, e.g.
+``python -m repro run --faults "ack-loss=0.3@4,jam=2:5000,crash=3@1-2"``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import (
+    ClockDriftFault,
+    FaultProfile,
+    FrameCorruptionFault,
+    FrameLossFault,
+    JammingFault,
+    NodeCrashFault,
+    parse_profile,
+)
+
+__all__ = [
+    "ClockDriftFault",
+    "FaultInjector",
+    "FaultProfile",
+    "FrameCorruptionFault",
+    "FrameLossFault",
+    "JammingFault",
+    "NodeCrashFault",
+    "parse_profile",
+]

@@ -1,0 +1,212 @@
+"""The runtime that drives a :class:`FaultProfile` during a simulation.
+
+One :class:`FaultInjector` is built per run (by
+:func:`repro.experiments.scenarios.build_scenario`) and wired in three
+places:
+
+* the medium's ``fault_hooks`` — :meth:`intercept` is consulted for
+  every frame that *would* decode and may turn it into a silent drop
+  or a corruption;
+* the kernel — jamming bursts are scheduled as a Poisson process and
+  call :meth:`~repro.phy.medium.Medium.begin_jam`;
+* the MACs — crash/restart schedules call
+  :meth:`~repro.mac.dcf.DcfMac.crash` / ``restart``.
+
+Each model draws from its own named stream of the run's
+:class:`~repro.sim.rng.RngRegistry` (``faults/frame_loss``,
+``faults/corruption``, ``faults/jamming``), so fault randomness never
+perturbs the medium's or any MAC's stream: two runs with the same
+``(scenario, seed)`` and the same profile are bit-identical, and the
+*set* of active models only changes draws within fault streams.
+
+:meth:`summary` exposes lifetime counters (frames dropped/corrupted,
+jam bursts and airtime, crashes/restarts) which
+:class:`~repro.experiments.scenarios.RunResult` carries for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.faults.models import FaultProfile, FrameLossFault
+from repro.sim.rng import RngRegistry
+
+
+class FaultInjector:
+    """Seeded driver of one run's fault profile.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel.
+    registry:
+        The run's RNG registry; fault streams are derived lazily so an
+        all-quiet model family costs no stream creation.
+    profile:
+        The fault configuration.  Callers should skip building an
+        injector entirely when ``profile.is_noop()``.
+    """
+
+    def __init__(self, sim, registry: RngRegistry, profile: FaultProfile):
+        self.sim = sim
+        self.profile = profile
+        self._loss_rng = (
+            registry.stream("faults/frame_loss") if profile.frame_loss else None
+        )
+        self._corrupt_rng = (
+            registry.stream("faults/corruption")
+            if profile.frame_corruption
+            else None
+        )
+        self._jam_rng = (
+            registry.stream("faults/jamming") if profile.jamming else None
+        )
+        #: Remaining burst lengths: (model family, fault idx, src, dst).
+        self._bursts: Dict[Tuple[str, int, int, int], int] = {}
+        #: Lifetime counters (observability / RunResult.faults_injected).
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
+        self.jam_bursts = 0
+        self.jam_airtime_us = 0
+        self.crashes = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, medium, macs: Dict[int, object]) -> None:
+        """Attach to the medium and schedule jam/crash timelines.
+
+        ``macs`` maps node id to MAC instance (for crash schedules).
+        """
+        if self.profile.frame_loss or self.profile.frame_corruption:
+            medium.fault_hooks = self
+        for fault in self.profile.jamming:
+            if fault.bursts_per_s > 0.0:
+                self._schedule_next_jam(medium, fault)
+        for fault in self.profile.node_crashes:
+            mac = macs.get(fault.node)
+            if mac is None:
+                raise ValueError(
+                    f"crash schedule targets unknown node {fault.node}"
+                )
+            self.sim.schedule_at(
+                fault.crash_at_us, lambda m=mac: self._crash(m)
+            )
+            if fault.restart_at_us is not None:
+                self.sim.schedule_at(
+                    fault.restart_at_us, lambda m=mac: self._restart(m)
+                )
+
+    def _crash(self, mac) -> None:
+        self.crashes += 1
+        mac.crash()
+
+    def _restart(self, mac) -> None:
+        self.restarts += 1
+        mac.restart()
+
+    # ------------------------------------------------------------------
+    # Frame-level faults (medium hook)
+    # ------------------------------------------------------------------
+    def intercept(self, tx, listener_id: int) -> Optional[str]:
+        """Fate of a decodable frame at ``listener_id``.
+
+        Returns ``"drop"`` (silent loss), ``"corrupt"`` (sensed but
+        undecodable, EIFS at the listener) or ``None`` (deliver).
+        Loss is evaluated before corruption, so overlapping models
+        compose as loss-first.
+        """
+        kind = getattr(getattr(tx.frame, "kind", None), "value", "?")
+        if self._matches(
+            "loss", self.profile.frame_loss, self._loss_rng,
+            kind, tx.src, listener_id,
+        ):
+            self.frames_dropped += 1
+            return "drop"
+        if self._matches(
+            "corrupt", self.profile.frame_corruption, self._corrupt_rng,
+            kind, tx.src, listener_id,
+        ):
+            self.frames_corrupted += 1
+            return "corrupt"
+        return None
+
+    def _matches(
+        self,
+        family: str,
+        faults: Sequence[FrameLossFault],
+        rng,
+        kind: str,
+        src: int,
+        dst: int,
+    ) -> bool:
+        for index, fault in enumerate(faults):
+            if fault.frame_kinds and kind not in fault.frame_kinds:
+                continue
+            if fault.links and (src, dst) not in fault.links:
+                continue
+            key = (family, index, src, dst)
+            remaining = self._bursts.get(key, 0)
+            if remaining > 0:
+                self._bursts[key] = remaining - 1
+                return True
+            if fault.rate <= 0.0:
+                continue
+            if fault.rate >= 1.0 or rng.random() < fault.rate:
+                if fault.burst_mean > 1.0:
+                    self._bursts[key] = _geometric_extra(
+                        rng, fault.burst_mean
+                    )
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Jamming
+    # ------------------------------------------------------------------
+    def _schedule_next_jam(self, medium, fault) -> None:
+        gap_us = max(
+            1, round(self._jam_rng.expovariate(fault.bursts_per_s) * 1e6)
+        )
+        self.sim.schedule(gap_us, lambda: self._start_jam(medium, fault))
+
+    def _start_jam(self, medium, fault) -> None:
+        duration = max(
+            1, round(self._jam_rng.expovariate(1.0 / fault.mean_burst_us))
+        )
+        self.jam_bursts += 1
+        self.jam_airtime_us += duration
+        medium.begin_jam(duration)
+        self._schedule_next_jam(medium, fault)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """Nonzero lifetime counters, for ``RunResult.faults_injected``."""
+        counters = {
+            "frames_dropped": self.frames_dropped,
+            "frames_corrupted": self.frames_corrupted,
+            "jam_bursts": self.jam_bursts,
+            "jam_airtime_us": self.jam_airtime_us,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+        }
+        return {name: value for name, value in counters.items() if value}
+
+
+def _geometric_extra(rng, burst_mean: float) -> int:
+    """Extra frames in a burst whose *total* mean length is burst_mean.
+
+    The first frame is already lost; the continuation count is
+    geometric with success probability ``1/burst_mean``.
+    """
+    p_stop = 1.0 / burst_mean
+    u = rng.random()
+    if u <= 0.0:
+        return 0
+    return int(math.log(u) / math.log(1.0 - p_stop))
+
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,269 @@
+"""Fault model configuration records and the CLI profile parser.
+
+Every record is a frozen dataclass of primitives and tuples, so a
+:class:`FaultProfile` embedded in a ``ScenarioConfig`` has a stable
+``repr`` and canonical form — faulted runs are cacheable and their
+fingerprints change whenever any fault parameter changes.
+
+Frame-level faults select frames by *kind* (the lowercase
+:class:`~repro.mac.frames.FrameKind` values ``"rts" / "cts" / "data" /
+"ack"``; empty means every kind) and by *link* (``(src, listener)``
+pairs; empty means every link).  Loss and corruption differ in what
+the victim perceives: a **lost** frame vanishes silently (the listener
+never knows it existed — the semantics of a reception falling below
+threshold), while a **corrupted** frame is sensed but undecodable and
+therefore triggers the listener's EIFS deference, exactly like a
+collision-damaged frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+#: Frame kinds a frame-level fault may target.
+FRAME_KINDS = ("rts", "cts", "data", "ack")
+
+
+@dataclass(frozen=True)
+class FrameLossFault:
+    """Silently drop decodable frames at the listener.
+
+    Attributes
+    ----------
+    rate:
+        Per-frame drop probability in [0, 1].
+    frame_kinds:
+        Targeted kinds (``"ack"`` etc.); empty tuple = all kinds.
+    links:
+        Targeted ``(src, listener)`` pairs; empty tuple = all links.
+    burst_mean:
+        Mean burst length.  1.0 drops frames independently; larger
+        values make each triggered drop extend geometrically over the
+        following matching frames on the same link (mean total burst
+        length ``burst_mean``), modelling fading dips that outlive a
+        single frame.
+    """
+
+    rate: float
+    frame_kinds: Tuple[str, ...] = ()
+    links: Tuple[Tuple[int, int], ...] = ()
+    burst_mean: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.burst_mean < 1.0:
+            raise ValueError("burst_mean must be >= 1")
+        for kind in self.frame_kinds:
+            if kind not in FRAME_KINDS:
+                raise ValueError(
+                    f"unknown frame kind {kind!r}; expected one of {FRAME_KINDS}"
+                )
+
+
+@dataclass(frozen=True)
+class FrameCorruptionFault(FrameLossFault):
+    """Corrupt decodable frames: sensed but undecodable (EIFS path)."""
+
+
+@dataclass(frozen=True)
+class JammingFault:
+    """Poisson noise bursts that blanket the whole medium.
+
+    While a burst is active every station senses a busy channel
+    (freezing backoff counters and idle-slot counters) and every frame
+    overlapping the burst at any point fails to decode.
+
+    Attributes
+    ----------
+    bursts_per_s:
+        Poisson arrival rate of bursts (per simulated second).
+    mean_burst_us:
+        Mean burst duration (exponential, floored at 1 us).
+    """
+
+    bursts_per_s: float
+    mean_burst_us: int
+
+    def __post_init__(self):
+        if self.bursts_per_s < 0.0:
+            raise ValueError("bursts_per_s must be >= 0")
+        if self.mean_burst_us < 1:
+            raise ValueError("mean_burst_us must be >= 1")
+
+
+@dataclass(frozen=True)
+class NodeCrashFault:
+    """Crash (and optionally restart) one node's MAC.
+
+    At ``crash_at_us`` the node loses all volatile MAC state: the
+    in-flight exchange, pending timeouts, its NAV, and its backoff
+    countdown.  At ``restart_at_us`` (if given) it rejoins with a
+    fresh DIFS deference and resumes draining its traffic source.
+    A frame the node had already put on the air finishes transmitting
+    (the model's granularity is one frame).
+    """
+
+    node: int
+    crash_at_us: int
+    restart_at_us: Optional[int] = None
+
+    def __post_init__(self):
+        if self.crash_at_us < 0:
+            raise ValueError("crash_at_us must be >= 0")
+        if self.restart_at_us is not None and self.restart_at_us <= self.crash_at_us:
+            raise ValueError("restart_at_us must be after crash_at_us")
+
+
+@dataclass(frozen=True)
+class ClockDriftFault:
+    """Slot-clock drift on one node's MAC timing.
+
+    The node's slot duration is scaled by ``1 + drift_ppm / 1e6`` and
+    rounded to the kernel's integer-microsecond clock, so with the
+    standard 20 us slot only drifts of |ppm| >= 25000 (2.5%) change
+    behaviour; the rounding is deliberate — it keeps the kernel's
+    integer-time determinism.  A fast clock (negative ppm shortens the
+    slot) makes an *honest* node count down quicker than the receiver
+    expects, probing the paper's misdiagnosis margin.
+    """
+
+    node: int
+    drift_ppm: float
+
+    def __post_init__(self):
+        if self.drift_ppm <= -1_000_000:
+            raise ValueError("drift_ppm must be > -1e6 (slot must stay positive)")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """The full fault configuration of one run (all models optional)."""
+
+    frame_loss: Tuple[FrameLossFault, ...] = ()
+    frame_corruption: Tuple[FrameCorruptionFault, ...] = ()
+    jamming: Tuple[JammingFault, ...] = ()
+    node_crashes: Tuple[NodeCrashFault, ...] = ()
+    clock_drifts: Tuple[ClockDriftFault, ...] = ()
+
+    def is_noop(self) -> bool:
+        """True when no model can ever fire (rate-0 entries included).
+
+        A no-op profile is treated exactly like ``faults=None``: no
+        injector is built, no fault RNG stream is created, and the run
+        is bit-identical to an unfaulted one.
+        """
+        return (
+            all(f.rate == 0.0 for f in self.frame_loss)
+            and all(f.rate == 0.0 for f in self.frame_corruption)
+            and all(j.bursts_per_s == 0.0 for j in self.jamming)
+            and not self.node_crashes
+            and all(
+                _drifted_slot_us(d, slot_us=20) == 20 for d in self.clock_drifts
+            )
+        )
+
+
+def _drifted_slot_us(drift: ClockDriftFault, slot_us: int) -> int:
+    """Integer slot duration under ``drift`` (used by is_noop and MAC)."""
+    return max(1, round(slot_us * (1.0 + drift.drift_ppm / 1e6)))
+
+
+# ----------------------------------------------------------------------
+# CLI profile spec parser
+# ----------------------------------------------------------------------
+_LOSS_KEYS = {f"{k}-loss": (k,) for k in FRAME_KINDS} | {"loss": ()}
+_CORRUPT_KEYS = {f"{k}-corrupt": (k,) for k in FRAME_KINDS} | {"corrupt": ()}
+
+
+def parse_profile(spec: str) -> FaultProfile:
+    """Build a :class:`FaultProfile` from a compact comma-separated spec.
+
+    Grammar (whitespace-insensitive; all times in *seconds* except the
+    jam burst, which is in microseconds)::
+
+        ack-loss=RATE[@BURST]     drop ACKs with prob RATE (mean burst BURST)
+        cts-loss= / rts-loss= / data-loss= / loss=      other kinds / all
+        ack-corrupt=RATE[@BURST]  corrupt instead of drop (EIFS path)
+        jam=BURSTS_PER_S:MEAN_US  Poisson jamming bursts
+        crash=NODE@T1[-T2]        crash node at T1 s, restart at T2 s
+        drift=NODE:PPM            slot-clock drift in ppm
+
+    Example: ``"ack-loss=0.3@4,jam=2:5000,crash=3@1-2.5,drift=5:50000"``.
+    """
+    profile = FaultProfile()
+    for raw in spec.split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        if "=" not in token:
+            raise ValueError(f"malformed fault token {token!r} (expected key=value)")
+        key, _, value = token.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if key in _LOSS_KEYS:
+            fault = _parse_frame_fault(FrameLossFault, _LOSS_KEYS[key], value)
+            profile = replace(profile, frame_loss=profile.frame_loss + (fault,))
+        elif key in _CORRUPT_KEYS:
+            fault = _parse_frame_fault(
+                FrameCorruptionFault, _CORRUPT_KEYS[key], value
+            )
+            profile = replace(
+                profile, frame_corruption=profile.frame_corruption + (fault,)
+            )
+        elif key == "jam":
+            rate_s, _, mean_us = value.partition(":")
+            if not mean_us:
+                raise ValueError(
+                    f"jam spec {value!r} must be BURSTS_PER_S:MEAN_US"
+                )
+            fault = JammingFault(
+                bursts_per_s=float(rate_s), mean_burst_us=int(mean_us)
+            )
+            profile = replace(profile, jamming=profile.jamming + (fault,))
+        elif key == "crash":
+            node_s, _, window = value.partition("@")
+            if not window:
+                raise ValueError(f"crash spec {value!r} must be NODE@T1[-T2]")
+            t1_s, _, t2_s = window.partition("-")
+            fault = NodeCrashFault(
+                node=int(node_s),
+                crash_at_us=int(float(t1_s) * 1_000_000),
+                restart_at_us=int(float(t2_s) * 1_000_000) if t2_s else None,
+            )
+            profile = replace(
+                profile, node_crashes=profile.node_crashes + (fault,)
+            )
+        elif key == "drift":
+            node_s, _, ppm = value.partition(":")
+            if not ppm:
+                raise ValueError(f"drift spec {value!r} must be NODE:PPM")
+            fault = ClockDriftFault(node=int(node_s), drift_ppm=float(ppm))
+            profile = replace(
+                profile, clock_drifts=profile.clock_drifts + (fault,)
+            )
+        else:
+            raise ValueError(f"unknown fault key {key!r} in token {token!r}")
+    return profile
+
+
+__all__ = [
+    "FRAME_KINDS",
+    "ClockDriftFault",
+    "FaultProfile",
+    "FrameCorruptionFault",
+    "FrameLossFault",
+    "JammingFault",
+    "NodeCrashFault",
+    "parse_profile",
+]
+
+
+def _parse_frame_fault(cls, kinds: Tuple[str, ...], value: str):
+    rate_s, _, burst_s = value.partition("@")
+    return cls(
+        rate=float(rate_s),
+        frame_kinds=kinds,
+        burst_mean=float(burst_s) if burst_s else 1.0,
+    )

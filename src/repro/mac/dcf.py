@@ -142,10 +142,12 @@ class DcfMac:
         self._nav_handle: Optional[EventHandle] = None
         self._pending_eifs = False
         self._seq = 0
+        self._crashed = False
         #: Lifetime counters (observability / tests).
         self.rts_sent = 0
         self.packets_delivered = 0
         self.packets_dropped = 0
+        self.crashes = 0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -160,8 +162,48 @@ class DcfMac:
 
     def wake(self) -> None:
         """Source signal: a packet became available."""
+        if self._crashed:
+            return
         if self._state == "idle":
             self._try_dequeue()
+
+    # ------------------------------------------------------------------
+    # Crash / restart (driven by repro.faults.NodeCrashFault)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose all volatile MAC state, as a reboot would.
+
+        The in-flight exchange (the packet is lost without a drop
+        callback — the node never learns its fate), pending timeouts,
+        the responder role, the NAV and the backoff countdown all
+        vanish.  A frame already on the air finishes transmitting: the
+        model's granularity is one frame.  Channel-sense bookkeeping
+        (busy/idle edge counting) deliberately keeps running so the
+        medium's accounting stays balanced across the outage.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crashes += 1
+        self.timer.cancel()
+        self._cancel_timeout()
+        self._clear_responder()
+        self._current = None
+        self._state = "idle"
+        self._nav_until = 0
+        if self._nav_handle is not None:
+            self._nav_handle.cancel()
+            self._nav_handle = None
+        self._pending_eifs = False
+
+    def restart(self) -> None:
+        """Rejoin after a crash: fresh DIFS deference, resume draining."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.idle_counter.resync(self.sim.now)
+        self._update_blocked()
+        self._try_dequeue()
 
     # ------------------------------------------------------------------
     # Medium listener interface
@@ -184,9 +226,13 @@ class DcfMac:
         self.timer.marginal_changed()
 
     def on_frame_corrupted(self) -> None:
+        if self._crashed:
+            return
         self._pending_eifs = True
 
     def on_frame(self, frame: Frame) -> None:
+        if self._crashed:
+            return
         self._pending_eifs = False
         if frame.dst != self.node_id:
             self._set_nav(frame)
@@ -233,7 +279,7 @@ class DcfMac:
     # Sender half
     # ------------------------------------------------------------------
     def _try_dequeue(self) -> None:
-        if self._state != "idle" or self.source is None:
+        if self._crashed or self._state != "idle" or self.source is None:
             return
         packet = self.source.next_packet(self.sim.now)
         if packet is None:
@@ -265,7 +311,8 @@ class DcfMac:
 
     def _transmit_rts(self) -> None:
         ex = self._current
-        assert ex is not None
+        if ex is None:  # crashed between schedule and fire
+            return
         et = self._sender_timing()
         frame = Frame(
             kind=FrameKind.RTS,
@@ -288,7 +335,8 @@ class DcfMac:
     def _transmit_data_direct(self) -> None:
         """Basic access: send DATA straight after the backoff."""
         ex = self._current
-        assert ex is not None
+        if ex is None:  # crashed between schedule and fire
+            return
         et = self._sender_timing()
         frame = Frame(
             kind=FrameKind.DATA,
@@ -319,7 +367,8 @@ class DcfMac:
 
     def _transmit_data(self) -> None:
         ex = self._current
-        assert ex is not None
+        if ex is None:  # crashed between schedule and fire
+            return
         et = self._sender_timing()
         frame = Frame(
             kind=FrameKind.DATA,
@@ -355,7 +404,8 @@ class DcfMac:
 
     def _on_timeout(self) -> None:
         ex = self._current
-        assert ex is not None
+        if ex is None:  # crashed between schedule and fire
+            return
         self._timeout = None
         ex.attempt += 1
         if ex.attempt > self.retry_limit:
@@ -403,7 +453,8 @@ class DcfMac:
 
     def _transmit_cts(self) -> None:
         resp = self._responder
-        assert resp is not None
+        if resp is None:  # crashed between schedule and fire
+            return
         et = self.exchange_timing
         frame = Frame(
             kind=FrameKind.CTS,
@@ -472,7 +523,8 @@ class DcfMac:
 
     def _transmit_ack(self) -> None:
         resp = self._responder
-        assert resp is not None
+        if resp is None:  # crashed between schedule and fire
+            return
         et = self.exchange_timing
         frame = Frame(
             kind=FrameKind.ACK,

@@ -7,10 +7,24 @@ frame advertises the time the rest of the exchange still needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.mac.frames import ack_size, cts_size, data_size, rts_size
 from repro.phy.constants import PhyTimings
+
+
+def with_clock_drift(timings: PhyTimings, drift_ppm: float) -> PhyTimings:
+    """A node-local timing bundle with a drifted slot clock.
+
+    The slot is scaled by ``1 + drift_ppm/1e6`` and rounded to the
+    kernel's integer-microsecond grid (floored at 1 us), so only
+    drifts large enough to move the slot by >= 0.5 us change
+    behaviour.  Everything derived from the slot (backoff countdown
+    pace, timeout slack) follows automatically because consumers read
+    ``slot_us`` from this bundle.
+    """
+    slot = max(1, round(timings.slot_us * (1.0 + drift_ppm / 1e6)))
+    return replace(timings, slot_us=slot)
 
 
 @dataclass(frozen=True)

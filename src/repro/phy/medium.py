@@ -76,6 +76,8 @@ class Transmission:
     end: int
     #: Transmissions whose airtime overlapped this one at any point.
     overlaps: List["Transmission"] = field(default_factory=list)
+    #: True when a jamming burst overlapped the airtime (decode fails).
+    jammed: bool = False
     #: Per-listener sensing class, frozen at transmission start so
     #: that busy-count bookkeeping stays balanced even if node
     #: positions change mid-flight (mobility support).
@@ -124,10 +126,18 @@ class Medium:
         #: Optional structured event log (repro.sim.trace.TraceLog);
         #: None disables tracing entirely.
         self.trace = None
+        #: Optional fault hook (repro.faults.FaultInjector); consulted
+        #: in _deliver for frames that would otherwise decode.  None
+        #: (the default) costs one attribute check per delivery.
+        self.fault_hooks = None
+        #: Nesting depth of active jamming bursts.
+        self._jam_depth = 0
         #: Lifetime counters (observability / tests).
         self.transmissions_started = 0
         self.frames_decoded = 0
         self.frames_corrupted = 0
+        self.frames_fault_dropped = 0
+        self.jam_bursts = 0
 
     # ------------------------------------------------------------------
     # Registration and link geometry
@@ -199,7 +209,8 @@ class Medium:
         if airtime_us <= 0:
             raise ValueError("airtime must be positive")
         now = self.sim.now
-        tx = Transmission(src=src, frame=frame, start=now, end=now + airtime_us)
+        tx = Transmission(src=src, frame=frame, start=now, end=now + airtime_us,
+                          jammed=self._jam_depth > 0)
         for active in self._active:
             active.overlaps.append(tx)
             tx.overlaps.append(active)
@@ -250,6 +261,44 @@ class Medium:
                 state.listener.on_marginal_change()
 
     # ------------------------------------------------------------------
+    # Jamming (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def begin_jam(self, duration_us: int) -> None:
+        """Start a noise burst blanketing the whole medium.
+
+        Every listener senses a busy channel for the burst's duration
+        (strong busy edge on the first concurrent burst), and every
+        frame whose airtime overlaps the burst at any point fails to
+        decode.  Bursts may overlap; the channel goes idle again when
+        the last one ends.
+        """
+        if duration_us <= 0:
+            raise ValueError("jam duration must be positive")
+        self.jam_bursts += 1
+        self._jam_depth += 1
+        for tx in self._active:
+            tx.jammed = True
+        if self._jam_depth == 1:
+            if self.trace is not None:
+                self.trace.record(self.sim.now, "jam_start", -1,
+                                  duration_us=duration_us)
+            for state in self._states.values():
+                state.strong_count += 1
+                if state.strong_count == 1:
+                    state.listener.on_channel_busy()
+        self.sim.schedule(duration_us, self._end_jam)
+
+    def _end_jam(self) -> None:
+        self._jam_depth -= 1
+        if self._jam_depth == 0:
+            if self.trace is not None:
+                self.trace.record(self.sim.now, "jam_end", -1)
+            for state in self._states.values():
+                state.strong_count -= 1
+                if state.strong_count == 0:
+                    state.listener.on_channel_idle()
+
+    # ------------------------------------------------------------------
     # Reception
     # ------------------------------------------------------------------
     def _deliver(self, tx: Transmission) -> None:
@@ -265,6 +314,19 @@ class Medium:
             if any(o.src == node_id for o in tx.overlaps):
                 continue
             decoded = self._attempt_decode(tx, node_id, link)
+            if decoded and self.fault_hooks is not None:
+                fate = self.fault_hooks.intercept(tx, node_id)
+                if fate == "drop":
+                    # Silent loss: the listener never learns the frame
+                    # existed (no EIFS, no corruption counter).
+                    self.frames_fault_dropped += 1
+                    if self.trace is not None:
+                        self.trace.record(
+                            self.sim.now, "fault_drop", node_id, src=tx.src
+                        )
+                    continue
+                if fate == "corrupt":
+                    decoded = False
             if decoded:
                 self.frames_decoded += 1
                 if self.trace is not None:
@@ -289,6 +351,8 @@ class Medium:
 
     def _attempt_decode(self, tx: Transmission, node_id: int,
                         link: LinkProbabilities) -> bool:
+        if tx.jammed:
+            return False
         if link.receive < 1.0 - LinkProbabilities.EPS:
             if self.rng.random() >= link.receive:
                 return False

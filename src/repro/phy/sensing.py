@@ -115,6 +115,17 @@ class IdleSlotCounter:
         self._slots += idle
         self._cursor += n * self.slot_us
 
+    def resync(self, now: int, ifs_us: int | None = None) -> None:
+        """Re-enter counting after an outage (e.g. a node restart).
+
+        The cumulative count is preserved; the node simply defers a
+        fresh IFS (DIFS by default) from ``now`` before slots become
+        eligible again, exactly as a station that just powered up.
+        """
+        self.advance(now)
+        defer = ifs_us if ifs_us is not None else self.difs_us
+        self._cursor = max(self._cursor, now + defer)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

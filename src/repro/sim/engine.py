@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Dict, Optional
+import time as _time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 # Heap entries are plain ``(time, seq, handle)`` tuples: ordering is
 # (time, sequence) so that events scheduled for the same timestamp fire
@@ -43,6 +46,57 @@ class SimulationError(RuntimeError):
     Examples include scheduling an event in the past or running a
     simulator that was already stopped.
     """
+
+
+class SimulationStalled(SimulationError):
+    """A watchdog guard tripped: the run exceeded its event, simulated
+    time or wall-clock budget.
+
+    Carries the recent dispatch history (:attr:`trace`) so a stall —
+    typically two MACs re-scheduling each other in a tight loop — can
+    be diagnosed from the exception alone.
+    """
+
+    def __init__(self, reason: str, trace: List[Tuple[int, str]]):
+        lines = "\n".join(f"  t={t} us  {desc}" for t, desc in trace)
+        super().__init__(
+            f"simulation stalled: {reason}\nmost recent events:\n{lines}"
+            if trace else f"simulation stalled: {reason}"
+        )
+        self.reason = reason
+        self.trace = trace
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Budget guards for :meth:`Simulator.run`.
+
+    Any guard left ``None`` is disabled.  ``max_wall_s`` is checked
+    every ``check_interval`` events (a ``time.monotonic`` call per
+    event would dominate the kernel's hot loop); the others are exact.
+    The watched loop also keeps the last ``trace_len`` dispatches for
+    the :class:`SimulationStalled` report.
+    """
+
+    max_events: Optional[int] = None
+    max_wall_s: Optional[float] = None
+    max_sim_us: Optional[int] = None
+    trace_len: int = 32
+    check_interval: int = 256
+
+    def __post_init__(self):
+        if self.trace_len < 1:
+            raise ValueError("trace_len must be >= 1")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+
+
+def _describe_callback(callback: Callable[[], None]) -> str:
+    """Human-readable event label for watchdog traces."""
+    name = getattr(callback, "__qualname__", None) or repr(callback)
+    owner = getattr(callback, "__self__", None)
+    node = getattr(owner, "node_id", None)
+    return f"{name} [node {node}]" if node is not None else name
 
 
 class EventHandle:
@@ -85,9 +139,16 @@ class Simulator:
         each callback) into :attr:`event_counts`.  Costs one dict
         update per event, never touches any RNG, and is off by default
         so the hot path stays lean.
+    watchdog:
+        Optional :class:`Watchdog`.  When set, :meth:`run` uses a
+        guarded dispatch loop that raises :class:`SimulationStalled`
+        (with a recent-event trace) once any budget is exceeded; when
+        ``None`` (the default) the original unguarded fast loop runs
+        and per-event cost is unchanged.
     """
 
-    def __init__(self, until: Optional[int] = None, profile: bool = False):
+    def __init__(self, until: Optional[int] = None, profile: bool = False,
+                 watchdog: Optional["Watchdog"] = None):
         self.now: int = 0
         self._queue: list[tuple[int, int, EventHandle]] = []
         self._seq = itertools.count()
@@ -98,6 +159,7 @@ class Simulator:
         #: Per-module dispatch counts; populated only under ``profile``.
         self.event_counts: Dict[str, int] = {}
         self._profile = profile
+        self.watchdog = watchdog
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -137,33 +199,92 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
-        queue = self._queue
-        heappop = heapq.heappop
         try:
-            while queue and not self._stopped:
-                event_time = queue[0][0]
-                if horizon is not None and event_time > horizon:
-                    break
-                _, _, event = heappop(queue)
-                if event.cancelled:
-                    continue
-                if event_time < self.now:  # pragma: no cover - defensive
-                    raise SimulationError("event queue went backwards in time")
-                self.now = event_time
-                event.fired = True
-                self.events_processed += 1
-                if self._profile:
-                    module = getattr(
-                        event.callback, "__module__", None
-                    ) or "unknown"
-                    self.event_counts[module] = (
-                        self.event_counts.get(module, 0) + 1
-                    )
-                event.callback()
+            if self.watchdog is None:
+                self._run_fast(horizon)
+            else:
+                self._run_watched(horizon, self.watchdog)
             if horizon is not None and self.now < horizon and not self._stopped:
                 self.now = horizon
         finally:
             self._running = False
+
+    def _run_fast(self, horizon: Optional[int]) -> None:
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue and not self._stopped:
+            event_time = queue[0][0]
+            if horizon is not None and event_time > horizon:
+                break
+            _, _, event = heappop(queue)
+            if event.cancelled:
+                continue
+            if event_time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue went backwards in time")
+            self.now = event_time
+            event.fired = True
+            self.events_processed += 1
+            if self._profile:
+                module = getattr(
+                    event.callback, "__module__", None
+                ) or "unknown"
+                self.event_counts[module] = (
+                    self.event_counts.get(module, 0) + 1
+                )
+            event.callback()
+
+    def _run_watched(self, horizon: Optional[int], dog: "Watchdog") -> None:
+        """The fast loop plus budget guards and a rolling event trace.
+
+        Duplicated rather than folded into :meth:`_run_fast` so the
+        unguarded path keeps zero per-event overhead.
+        """
+        queue = self._queue
+        heappop = heapq.heappop
+        trace: deque = deque(maxlen=dog.trace_len)
+        dispatched = 0
+        deadline = (
+            _time.monotonic() + dog.max_wall_s
+            if dog.max_wall_s is not None else None
+        )
+        while queue and not self._stopped:
+            event_time = queue[0][0]
+            if horizon is not None and event_time > horizon:
+                break
+            _, _, event = heappop(queue)
+            if event.cancelled:
+                continue
+            if event_time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event queue went backwards in time")
+            if dog.max_sim_us is not None and event_time > dog.max_sim_us:
+                raise SimulationStalled(
+                    f"simulated time {event_time} us exceeds the "
+                    f"{dog.max_sim_us} us budget", list(trace),
+                )
+            dispatched += 1
+            if dog.max_events is not None and dispatched > dog.max_events:
+                raise SimulationStalled(
+                    f"dispatched more than {dog.max_events} events in one "
+                    "run() call", list(trace),
+                )
+            if deadline is not None and dispatched % dog.check_interval == 0:
+                if _time.monotonic() > deadline:
+                    raise SimulationStalled(
+                        f"wall clock exceeded the {dog.max_wall_s} s budget",
+                        list(trace),
+                    )
+            self.now = event_time
+            event.fired = True
+            self.events_processed += 1
+            trace.append((event_time, _describe_callback(event.callback)))
+            if self._profile:
+                module = getattr(
+                    event.callback, "__module__", None
+                ) or "unknown"
+                self.event_counts[module] = (
+                    self.event_counts.get(module, 0) + 1
+                )
+            event.callback()
 
     def stop(self) -> None:
         """Stop processing after the current event completes."""

@@ -54,6 +54,15 @@ class RngRegistry:
         """Names of all streams created so far (for diagnostics)."""
         return list(self._streams)
 
+    def has_stream(self, name: str) -> bool:
+        """Whether ``name`` was ever requested — without creating it.
+
+        The determinism tests use this to assert that disabled
+        subsystems (e.g. fault injection with a no-op profile) never
+        instantiate their streams.
+        """
+        return name in self._streams
+
 
 def geometric_skip(rng: random.Random, p_busy: float) -> int:
     """Sample how many slots pass before the next *idle* slot.

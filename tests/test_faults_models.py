@@ -1,0 +1,180 @@
+"""Tests for the fault model records and the CLI profile parser.
+
+Covers the ``parse_profile`` grammar (and its error messages), record
+validation, the ``is_noop`` contract, and the caching properties of
+faulted configs: a ``FaultProfile`` is made of frozen primitives, so
+faulted runs fingerprint stably and every fault parameter perturbs
+the cache key.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.cache import config_fingerprint
+from repro.experiments.scenarios import ScenarioConfig
+from repro.faults import (
+    ClockDriftFault,
+    FaultProfile,
+    FrameCorruptionFault,
+    FrameLossFault,
+    JammingFault,
+    NodeCrashFault,
+    parse_profile,
+)
+from repro.net.topology import circle_topology
+
+
+def config(**kwargs):
+    return ScenarioConfig(
+        topology=circle_topology(2), duration_us=200_000, seed=1, **kwargs
+    )
+
+
+class TestParseProfile:
+    def test_frame_loss_kinds(self):
+        profile = parse_profile("ack-loss=0.3")
+        assert profile.frame_loss == (
+            FrameLossFault(rate=0.3, frame_kinds=("ack",)),
+        )
+
+    def test_loss_all_kinds_and_burst(self):
+        profile = parse_profile("loss=0.1@4")
+        [fault] = profile.frame_loss
+        assert fault.frame_kinds == ()
+        assert fault.rate == 0.1
+        assert fault.burst_mean == 4.0
+
+    def test_corruption_is_distinct_model(self):
+        profile = parse_profile("cts-corrupt=0.2")
+        assert profile.frame_loss == ()
+        [fault] = profile.frame_corruption
+        assert isinstance(fault, FrameCorruptionFault)
+        assert fault.frame_kinds == ("cts",)
+
+    def test_jam(self):
+        profile = parse_profile("jam=2:5000")
+        assert profile.jamming == (
+            JammingFault(bursts_per_s=2.0, mean_burst_us=5000),
+        )
+
+    def test_crash_with_and_without_restart(self):
+        profile = parse_profile("crash=3@1-2.5,crash=4@0.5")
+        assert profile.node_crashes == (
+            NodeCrashFault(node=3, crash_at_us=1_000_000,
+                           restart_at_us=2_500_000),
+            NodeCrashFault(node=4, crash_at_us=500_000),
+        )
+
+    def test_drift(self):
+        profile = parse_profile("drift=5:50000")
+        assert profile.clock_drifts == (
+            ClockDriftFault(node=5, drift_ppm=50000.0),
+        )
+
+    def test_combined_spec_with_whitespace(self):
+        profile = parse_profile(" ack-loss=0.3@4 , jam=2:5000 , crash=3@1 ")
+        assert profile.frame_loss and profile.jamming and profile.node_crashes
+
+    @pytest.mark.parametrize("bad, match", [
+        ("bogus", "key=value"),
+        ("warp=0.3", "unknown fault key"),
+        ("jam=2", "BURSTS_PER_S:MEAN_US"),
+        ("crash=3", "NODE@T1"),
+        ("drift=5", "NODE:PPM"),
+        ("ack-loss=1.5", "rate"),
+        ("loss=0.1@0.5", "burst_mean"),
+    ])
+    def test_malformed_specs_rejected(self, bad, match):
+        with pytest.raises(ValueError, match=match):
+            parse_profile(bad)
+
+
+class TestValidation:
+    def test_rate_bounds(self):
+        with pytest.raises(ValueError):
+            FrameLossFault(rate=-0.1)
+        with pytest.raises(ValueError):
+            FrameLossFault(rate=1.1)
+
+    def test_unknown_frame_kind(self):
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            FrameLossFault(rate=0.5, frame_kinds=("beacon",))
+
+    def test_jam_bounds(self):
+        with pytest.raises(ValueError):
+            JammingFault(bursts_per_s=-1.0, mean_burst_us=100)
+        with pytest.raises(ValueError):
+            JammingFault(bursts_per_s=1.0, mean_burst_us=0)
+
+    def test_restart_must_follow_crash(self):
+        with pytest.raises(ValueError):
+            NodeCrashFault(node=1, crash_at_us=100, restart_at_us=100)
+
+    def test_drift_keeps_slot_positive(self):
+        with pytest.raises(ValueError):
+            ClockDriftFault(node=1, drift_ppm=-1_000_000)
+
+
+class TestIsNoop:
+    def test_empty_profile(self):
+        assert FaultProfile().is_noop()
+
+    def test_zero_rates_are_noop(self):
+        profile = FaultProfile(
+            frame_loss=(FrameLossFault(rate=0.0, frame_kinds=("ack",)),),
+            frame_corruption=(FrameCorruptionFault(rate=0.0),),
+            jamming=(JammingFault(bursts_per_s=0.0, mean_burst_us=100),),
+        )
+        assert profile.is_noop()
+
+    def test_sub_quantum_drift_is_noop(self):
+        # 100 ppm on a 20 us slot rounds back to 20 us.
+        profile = FaultProfile(
+            clock_drifts=(ClockDriftFault(node=1, drift_ppm=100.0),)
+        )
+        assert profile.is_noop()
+
+    @pytest.mark.parametrize("profile", [
+        FaultProfile(frame_loss=(FrameLossFault(rate=0.1),)),
+        FaultProfile(frame_corruption=(FrameCorruptionFault(rate=0.1),)),
+        FaultProfile(jamming=(JammingFault(bursts_per_s=1.0,
+                                           mean_burst_us=100),)),
+        FaultProfile(node_crashes=(NodeCrashFault(node=1, crash_at_us=1),)),
+        FaultProfile(clock_drifts=(ClockDriftFault(node=1,
+                                                   drift_ppm=500_000.0),)),
+    ])
+    def test_live_models_are_not_noop(self, profile):
+        assert not profile.is_noop()
+
+
+class TestCaching:
+    def test_faulted_config_fingerprints_stably(self):
+        spec = "ack-loss=0.3@4,jam=2:5000,crash=3@1-2.5,drift=5:50000"
+        a = config(faults=parse_profile(spec))
+        b = config(faults=parse_profile(spec))
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_fault_layer_perturbs_fingerprint(self):
+        base = config_fingerprint(config())
+        faulted = config(faults=parse_profile("ack-loss=0.3"))
+        assert config_fingerprint(faulted) != base
+
+    @pytest.mark.parametrize("spec_a, spec_b", [
+        ("ack-loss=0.3", "ack-loss=0.4"),
+        ("ack-loss=0.3", "cts-loss=0.3"),
+        ("ack-loss=0.3", "ack-corrupt=0.3"),
+        ("ack-loss=0.3@2", "ack-loss=0.3@4"),
+        ("jam=2:5000", "jam=2:6000"),
+        ("crash=3@1", "crash=3@1-2"),
+        ("drift=5:50000", "drift=5:60000"),
+    ])
+    def test_every_fault_parameter_perturbs_fingerprint(self, spec_a, spec_b):
+        a = config(faults=parse_profile(spec_a))
+        b = config(faults=parse_profile(spec_b))
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_records_are_frozen(self):
+        fault = FrameLossFault(rate=0.5)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            fault.rate = 0.9
