@@ -1,0 +1,84 @@
+"""Detector subsystem — figure regeneration and stage overhead.
+
+Two concerns:
+
+* the ``detectors`` comparison figure keeps its qualitative shape
+  (every detector catches a blatant cheater, none convicts an honest
+  circle at its defaults, CUSUM/estimator trade latency for silence);
+* routing every judged packet through the pluggable detector stage
+  costs essentially nothing over the seed's hard-wired diagnosis path
+  — the adapter is one extra method call per reception.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.experiments.figures import MISBEHAVING_NODE, figure_detectors
+from repro.experiments.scenarios import (
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.net.topology import circle_topology
+
+from conftest import archive, bench_settings
+
+
+def test_detectors_figure(benchmark, executor):
+    settings = bench_settings()
+    fig = benchmark.pedantic(
+        figure_detectors, args=(settings,),
+        kwargs={"executor": executor}, rounds=1, iterations=1,
+    )
+    archive(fig)
+    top = max(settings.pm_values)
+    for spec in settings.detectors:
+        detection = dict(fig.series[f"{spec} - detection %"])
+        alarms = dict(fig.series[f"{spec} - false alarm %"])
+        # A blatant cheater is caught, an honest circle is not.
+        assert detection[top] > 50.0, spec
+        assert detection[0.0] == 0.0, spec
+        assert alarms[0.0] < 10.0, spec
+        # Time-to-detection exists wherever the cheater got flagged.
+        ttd = dict(fig.series.get(f"{spec} - TTD (pkts)", ()))
+        assert top in ttd and ttd[top] >= 1.0, spec
+        benchmark.extra_info[f"{spec}_detection_at_top"] = detection[top]
+        benchmark.extra_info[f"{spec}_ttd_pkts_at_top"] = ttd[top]
+
+
+def _timed_run(config):
+    start = time.perf_counter()
+    result = run_scenario(config)
+    return result, time.perf_counter() - start
+
+
+def test_detector_stage_overhead(benchmark):
+    """The registry path must not slow down the receiver pipeline.
+
+    Compares one misbehaving-circle second run through the seed path
+    (``detector=None``) against the same run routed through each
+    registered detector.  The window adapter must also stay
+    bit-identical — the overhead being measured is pure dispatch.
+    """
+    topo = circle_topology(8, misbehaving=(MISBEHAVING_NODE,),
+                           pm_percent=60.0)
+    base = ScenarioConfig(topology=topo, protocol=PROTOCOL_CORRECT,
+                          duration_us=1_000_000, seed=1)
+
+    baseline = benchmark(run_scenario, base)
+    assert baseline.collector.deliveries
+
+    # Warm-up already happened (benchmark ran the baseline repeatedly);
+    # time each detector path once against a fresh baseline timing.
+    _, base_t = _timed_run(base)
+    for spec in ("window", "cusum", "estimator"):
+        result, spec_t = _timed_run(replace(base, detector=spec))
+        ratio = spec_t / base_t if base_t > 0 else 1.0
+        benchmark.extra_info[f"{spec}_overhead_ratio"] = round(ratio, 3)
+        # Generous bound: same-machine, same-run comparison.  The
+        # detector stage is O(1) per packet; anything past 1.5x means
+        # an accidental quadratic or allocation storm crept in.
+        assert ratio < 1.5, f"{spec} run took {ratio:.2f}x the seed path"
+        if spec == "window":
+            assert result.collector.deliveries == \
+                baseline.collector.deliveries

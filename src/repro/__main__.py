@@ -23,6 +23,13 @@ Subcommands
         python -m repro run --pm 60 --protocol correct --seconds 5
         python -m repro run --pm 80 --protocol 802.11 --interferers
         python -m repro run --pm 60 --faults "ack-loss=0.3@4,jam=20:2000"
+        python -m repro run --pm 90 --detector "cusum:h=2.0,k=0.25"
+
+    ``--detector`` swaps the receiver-side diagnosis algorithm (see
+    :mod:`repro.detect` for the registry and spec syntax); the run
+    then also reports the detector's operating point (detection /
+    false-alarm rates over judged packets) and the time to detection
+    of the cheater.
 
     ``--faults`` takes a comma-separated fault profile (see
     :func:`repro.faults.parse_profile`): frame-loss/corruption rates
@@ -63,8 +70,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     wanted = args.ids or list(ALL_FIGURES)
     unknown = [w for w in wanted if w not in ALL_FIGURES]
     if unknown:
-        print(f"unknown figure ids: {unknown}; known: {list(ALL_FIGURES)}",
-              file=sys.stderr)
+        print(
+            f"unknown figure id(s): {', '.join(unknown)}\n"
+            f"available: {', '.join(sorted(ALL_FIGURES))}",
+            file=sys.stderr,
+        )
         return 2
     settings = active_settings()
     with ExperimentExecutor(on_failure="flag") as executor:
@@ -108,6 +118,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.detect import DetectorSpecError, parse_spec
     from repro.faults import parse_profile
 
     misbehaving = (args.cheater,) if args.pm > 0 else ()
@@ -120,10 +131,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad --faults spec: {exc}", file=sys.stderr)
         return 2
+    if args.detector is not None:
+        if args.protocol != "correct":
+            print("--detector requires --protocol correct (the 802.11 "
+                  "baseline has no receiver-side monitor)", file=sys.stderr)
+            return 2
+        try:
+            parse_spec(args.detector)
+        except DetectorSpecError as exc:
+            print(f"bad --detector spec: {exc}", file=sys.stderr)
+            return 2
     config = ScenarioConfig(
         topology=topo, protocol=args.protocol,
         duration_us=int(args.seconds * 1_000_000), seed=args.seed,
-        faults=faults,
+        faults=faults, detector=args.detector,
     )
     result = run_scenario(config)
     print(f"protocol={args.protocol} senders={args.senders} PM={args.pm:g}% "
@@ -133,12 +154,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{k}={v}" for k, v in sorted(result.faults_injected.items())
         ) or "none"
         print(f"  faults injected:    {injected}")
+    if args.detector is not None:
+        print(f"  detector:           {args.detector}")
     print(f"  AVG (honest mean):  {result.avg_throughput_bps / 1000:9.1f} Kbps")
     if misbehaving:
         print(f"  MSB (cheater):      {result.msb_throughput_bps / 1000:9.1f} Kbps")
         print(f"  correct diagnosis:  {result.correct_diagnosis_percent:8.1f} %")
     print(f"  misdiagnosis:       {result.misdiagnosis_percent:8.1f} %")
     print(f"  fairness (Jain):    {result.fairness_index:9.3f}")
+    if args.protocol == "correct":
+        print(f"  detection rate:     {result.detection_rate_percent:8.1f} %")
+        print(f"  false alarms:       {result.false_alarm_percent:8.1f} %")
+        if misbehaving:
+            ttd_pkts = result.detection_latency_packets(args.cheater)
+            ttd_us = result.detection_latency_us(args.cheater)
+            if ttd_pkts is not None:
+                print(f"  time to detection:  {ttd_pkts:8d} pkts "
+                      f"({ttd_us / 1000:.1f} ms)")
+            else:
+                print("  time to detection:  never flagged")
     return 0
 
 
@@ -187,6 +221,10 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--faults", default=None, metavar="SPEC",
                        help="fault profile, e.g. "
                             "'ack-loss=0.3@4,jam=20:2000,crash=2@1-3'")
+    p_run.add_argument("--detector", default=None, metavar="SPEC",
+                       help="detector spec (correct protocol only), e.g. "
+                            "'window:W=5,thresh=20', 'cusum:h=2.0,k=0.25' "
+                            "or 'estimator:fraction=0.5'")
     p_run.set_defaults(func=_cmd_run)
 
     p_cache = sub.add_parser("cache", help="inspect or clear the run cache")

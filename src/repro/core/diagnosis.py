@@ -74,6 +74,8 @@ class DiagnosisWindow:
         """Forget all history (e.g. after an administrative pardon)."""
         self._differences.clear()
         self._sum = 0.0
+        self.observations = 0
+        self.flagged_observations = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -29,8 +29,9 @@ from typing import Optional
 from repro.core.backoff_function import expected_backoff_sum, g_assignment
 from repro.core.correction import compute_penalty, next_assignment
 from repro.core.deviation import DeviationVerdict, check_deviation
-from repro.core.diagnosis import DiagnosisWindow
 from repro.core.params import ProtocolConfig
+from repro.detect.base import Detector, Observation
+from repro.detect.window import WindowDetector
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,11 @@ class SenderMonitor:
     receiver_id:
         Identifier of the monitoring receiver; only used when the
         deterministic receiver function ``g`` is enabled.
+    detector:
+        Online detector fed one observation per judged packet (see
+        :mod:`repro.detect`).  ``None`` builds the paper's W/THRESH
+        window detector from ``config`` — the exact pre-registry code
+        path, bit-identical verdict for verdict.
     """
 
     def __init__(
@@ -83,12 +89,16 @@ class SenderMonitor:
         config: ProtocolConfig,
         rng: random.Random,
         receiver_id: int = 0,
+        detector: Optional[Detector] = None,
     ):
         self.sender_id = sender_id
         self.config = config
         self.rng = rng
         self.receiver_id = receiver_id
-        self.diagnosis = DiagnosisWindow(config.window, config.thresh)
+        self.detector: Detector = (
+            detector if detector is not None
+            else WindowDetector(config.window, config.thresh)
+        )
         #: Backoff currently assigned to the sender (stage-1 value).
         self.current_assignment: Optional[int] = None
         #: Idle-slot counter snapshot at the last CTS/ACK we sent.
@@ -104,8 +114,27 @@ class SenderMonitor:
     # ------------------------------------------------------------------
     # Driver events
     # ------------------------------------------------------------------
+    @property
+    def diagnosis(self):
+        """The underlying diagnosis state (compatibility accessor).
+
+        For the default window detector this is the wrapped
+        :class:`~repro.core.diagnosis.DiagnosisWindow`, preserving the
+        pre-registry attribute surface (``observations``,
+        ``flagged_observations``, ``windowed_sum``, ``thresh``); for
+        any other detector it is the detector itself.
+        """
+        detector = self.detector
+        if isinstance(detector, WindowDetector):
+            return detector.window
+        return detector
+
     def on_rts(
-        self, attempt: int, idle_slots_now: int, seq: Optional[int] = None
+        self,
+        attempt: int,
+        idle_slots_now: int,
+        seq: Optional[int] = None,
+        now_us: int = 0,
     ) -> RtsVerdict:
         """Judge an arriving RTS and produce the next assignment.
 
@@ -122,6 +151,10 @@ class SenderMonitor:
             by ``seq`` keeps sender and receiver synchronised even when
             frames are lost (both ends know the sequence number,
             neither can count the other's receptions).
+        now_us:
+            Simulation time of the reception, forwarded to the
+            detector for latency accounting (never used in verdict
+            arithmetic).
         """
         if attempt < 1:
             raise ValueError("attempt must be >= 1")
@@ -135,11 +168,13 @@ class SenderMonitor:
             if verdict.deviated:
                 self.deviations_observed += 1
                 penalty = compute_penalty(verdict.deviation, self.config)
-            diagnosed = self.diagnosis.update(verdict.difference)
+            diagnosed = self.detector.observe(Observation(
+                b_exp=b_exp, b_act=b_act, retries=attempt, time_us=now_us,
+            ))
         else:
             # First packet: the sender legitimately chose its own
             # backoff, so there is nothing to compare against.
-            diagnosed = self.diagnosis.is_misbehaving
+            diagnosed = self.detector.is_misbehaving
         base = None
         if self.config.use_deterministic_g:
             counter = seq if seq is not None else self._packet_counter
@@ -200,10 +235,10 @@ class SenderMonitor:
     @property
     def is_misbehaving(self) -> bool:
         """Current diagnosis verdict for this sender."""
-        return self.diagnosis.is_misbehaving
+        return self.detector.is_misbehaving
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SenderMonitor(sender={self.sender_id}, "
-            f"assigned={self.current_assignment}, {self.diagnosis!r})"
+            f"assigned={self.current_assignment}, {self.detector!r})"
         )

@@ -1,0 +1,51 @@
+"""Pluggable online misbehavior-detection subsystem.
+
+The paper hard-codes one detector — the W/THRESH windowed sum of
+Section 4.3.  This package turns detection into a first-class design
+axis: a :class:`~repro.detect.base.Detector` protocol (per-sender
+online state fed one observation per received packet), a string-keyed
+registry with compact config parsing, and three built-in families:
+
+``window``
+    The paper's scheme, adapting :class:`repro.core.diagnosis.
+    DiagnosisWindow` bit-identically (the default everywhere).
+``cusum``
+    One-sided CUSUM sequential test on the normalized backoff deficit,
+    after Cao et al.
+``estimator``
+    Sequential effective-CWmin estimation against the assigned value,
+    after Yazdani-Abyaneh & Krunz.
+
+See ``docs/DETECTORS.md`` for the protocol contract, the parameter
+mapping to the cited papers, and how to add a detector.
+"""
+
+from repro.detect.base import Detector, DetectorBase, Observation
+from repro.detect.cusum import CusumDetector
+from repro.detect.estimator import CwminEstimatorDetector
+from repro.detect.registry import (
+    DEFAULT_DETECTOR,
+    DetectorSpecError,
+    detector_factory,
+    make_detector,
+    parse_spec,
+    register,
+    registered_detectors,
+)
+from repro.detect.window import WindowDetector
+
+__all__ = [
+    "DEFAULT_DETECTOR",
+    "CusumDetector",
+    "CwminEstimatorDetector",
+    "Detector",
+    "DetectorBase",
+    "DetectorSpecError",
+    "Observation",
+    "WindowDetector",
+    "detector_factory",
+    "make_detector",
+    "parse_spec",
+    "register",
+    "registered_detectors",
+]

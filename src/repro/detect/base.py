@@ -1,0 +1,114 @@
+"""Detector protocol: the unit every online detector implements.
+
+The paper's diagnosis scheme (Section 4.3) is one fixed detector — a
+windowed sum of ``B_exp - B_act`` against ``THRESH``.  Related work
+shows it is one point in a design space: Cao et al. detect the same
+attack with a CUSUM sequential test, Yazdani-Abyaneh & Krunz estimate
+the sender's effective CWmin from observed backoffs.  This module
+defines the shared contract so the receiver pipeline can host any of
+them interchangeably.
+
+A detector is *per-sender online state*: the monitoring receiver feeds
+it one :class:`Observation` per judged packet (in arrival order) and
+reads back a diagnosed/cleared verdict.  Detectors must be
+deterministic functions of their observation stream — no hidden
+randomness — so that runs remain bit-reproducible and two receivers
+fed the same stream agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One judged packet reception, as seen by the receiver's monitor.
+
+    Attributes
+    ----------
+    b_exp:
+        Backoff (slots) the sender was expected to wait, including any
+        reconstructed retransmission stages and standing penalties.
+    b_act:
+        Idle slots the receiver actually observed before the packet.
+    retries:
+        Attempt number carried by the observed transmission (1-based).
+    time_us:
+        Simulation time of the observation, for latency accounting.
+    """
+
+    b_exp: float
+    b_act: float
+    retries: int = 1
+    time_us: int = 0
+
+    @property
+    def difference(self) -> float:
+        """Signed backoff deficit ``B_exp - B_act`` in slots.
+
+        Positive when the sender waited less than expected — exactly
+        the quantity the paper's diagnosis window accumulates.
+        """
+        return float(self.b_exp - self.b_act)
+
+
+@runtime_checkable
+class Detector(Protocol):
+    """Per-sender online misbehavior detector.
+
+    Implementations additionally expose ``observations`` and
+    ``flagged_observations`` lifetime counters (see
+    :class:`DetectorBase`) so metrics and higher layers can report
+    flag rates without knowing the detector family.
+    """
+
+    def observe(self, observation: Observation) -> bool:
+        """Fold one observation in; return the post-update verdict."""
+        ...
+
+    @property
+    def is_misbehaving(self) -> bool:
+        """Whether the sender currently stands diagnosed."""
+        ...
+
+    def reset(self) -> None:
+        """Forget all history (e.g. after an administrative pardon)."""
+        ...
+
+
+class DetectorBase:
+    """Counter bookkeeping shared by the non-window detectors.
+
+    Subclasses implement :meth:`_update` returning the verdict for one
+    observation; this base maintains the ``observations`` /
+    ``flagged_observations`` lifetime tallies with the same semantics
+    as :class:`repro.core.diagnosis.DiagnosisWindow`.
+    """
+
+    def __init__(self) -> None:
+        #: Number of observations folded in (lifetime).
+        self.observations = 0
+        #: Number of observations on which the sender stood diagnosed.
+        self.flagged_observations = 0
+
+    def observe(self, observation: Observation) -> bool:
+        flagged = self._update(observation)
+        self.observations += 1
+        if flagged:
+            self.flagged_observations += 1
+        return flagged
+
+    def _update(self, observation: Observation) -> bool:
+        raise NotImplementedError
+
+    @property
+    def is_misbehaving(self) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear the lifetime counters; subclasses extend with their
+        own state (and must call ``super().reset()``)."""
+        self.observations = 0
+        self.flagged_observations = 0

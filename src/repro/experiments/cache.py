@@ -15,7 +15,7 @@ re-simulated.  The cache key is::
   *uncacheable*: :class:`UncacheableConfigError` is raised and the
   executor simply runs such configs every time.
 * :func:`code_version` hashes every protocol-relevant source file
-  (``repro.sim / phy / mac / net / core / metrics`` and
+  (``repro.sim / phy / mac / net / core / detect / metrics`` and
   ``experiments/scenarios.py``), so editing the simulator invalidates
   all prior entries while doc/harness edits (figures, report, CLI)
   keep the cache warm.
@@ -50,7 +50,8 @@ class UncacheableConfigError(ValueError):
 #: up the protocol-relevant code version.  Harness-only modules
 #: (figures, report, plots, export, CLI) are deliberately excluded:
 #: they consume results and cannot change them.
-_VERSIONED_SUBPACKAGES = ("core", "mac", "metrics", "net", "phy", "sim")
+_VERSIONED_SUBPACKAGES = ("core", "detect", "mac", "metrics", "net", "phy",
+                          "sim")
 _VERSIONED_FILES = ("experiments/scenarios.py",)
 
 

@@ -755,6 +755,87 @@ def figure_faults(
     return _materialize(_figure_faults_plan, settings, workers, executor)
 
 
+# ----------------------------------------------------------------------
+# Extension figure: detector comparison (operating point + latency)
+# ----------------------------------------------------------------------
+def _figure_detectors_plan(settings: EvalSettings, batch: TaskBatch):
+    fig = FigureResult(
+        figure_id="detectors",
+        title="Detector comparison: operating point and detection latency",
+        x_label="Percentage of Misbehavior (PM)",
+        y_label="percentage of judged packets / detection latency",
+        meta=_scale_meta(settings),
+    )
+    fig.meta["detectors"] = list(settings.detectors)
+    points = []
+    for spec in settings.detectors:
+        for pm in settings.pm_values:
+            topo = circle_topology(
+                8, misbehaving=(MISBEHAVING_NODE,), pm_percent=pm,
+                with_interferers=False,
+            )
+            config = ScenarioConfig(
+                topology=topo, protocol=PROTOCOL_CORRECT,
+                duration_us=settings.duration_us, detector=spec,
+            )
+            points.append((spec, pm, batch.add_seeds(config, settings.seeds)))
+    yield
+    for spec, pm, handle in points:
+        results = handle.results
+        _add_stat_point(
+            fig, f"{spec} - detection %", pm, results,
+            lambda r: r.detection_rate_percent,
+        )
+        _add_stat_point(
+            fig, f"{spec} - false alarm %", pm, results,
+            lambda r: r.false_alarm_percent,
+        )
+        if pm <= 0:
+            continue
+        # Time to detection: averaged over the seeds in which the
+        # misbehaving sender got flagged at all; a sweep point where no
+        # seed flagged simply has no latency sample (the detection-%
+        # series already shows the miss).
+        ok = _ok(results)
+        latency_pkts = [
+            v for v in (
+                r.detection_latency_packets(MISBEHAVING_NODE) for r in ok
+            ) if v is not None
+        ]
+        latency_us = [
+            v for v in (
+                r.detection_latency_us(MISBEHAVING_NODE) for r in ok
+            ) if v is not None
+        ]
+        if latency_pkts:
+            fig.add_point(f"{spec} - TTD (pkts)", pm, mean(latency_pkts))
+        if latency_us:
+            fig.add_point(f"{spec} - TTD (ms)", pm, mean(latency_us) / 1000.0)
+    return fig
+
+
+def figure_detectors(
+    settings: EvalSettings = DEFAULT_SETTINGS,
+    workers: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
+    """Compare detectors' operating points and detection latency.
+
+    For every detector spec in ``settings.detectors`` (by default the
+    paper's W/THRESH window, a one-sided CUSUM, and a CWmin estimator
+    — see :mod:`repro.detect`) the ZERO-FLOW circle is swept over PM.
+    Four series per detector:
+
+    * ``detection %`` / ``false alarm %`` — the per-observation
+      operating point (an ROC-style table: detection on misbehaving
+      senders' judged packets vs. false alarms on honest ones);
+    * ``TTD (pkts)`` / ``TTD (ms)`` — mean time to detection of the
+      misbehaving sender, in judged packets and in simulated time,
+      over the seeds in which it was flagged at all (PM > 0 only).
+    """
+    return _materialize(_figure_detectors_plan, settings, workers, executor)
+
+
 #: Planner registry backing :func:`generate_figures`.
 PLANNERS = {
     "fig4": _figure4_plan,
@@ -767,6 +848,7 @@ PLANNERS = {
     "intro": _intro_claim_plan,
     "delay": _figure_delay_plan,
     "faults": _figure_faults_plan,
+    "detectors": _figure_detectors_plan,
 }
 
 #: Registry used by the report CLI and the benchmark suite.
@@ -781,4 +863,5 @@ ALL_FIGURES = {
     "intro": intro_claim,
     "delay": figure_delay,
     "faults": figure_faults,
+    "detectors": figure_detectors,
 }

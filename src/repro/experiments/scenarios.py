@@ -12,6 +12,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set
 
 from repro.core.params import PAPER_CONFIG, ProtocolConfig
+from repro.detect import detector_factory
 from repro.experiments.settings import profile_enabled, watchdog_from_env
 from repro.core.sender_policy import ConformingPolicy, policy_for_pm
 from repro.faults import FaultInjector, FaultProfile
@@ -64,6 +65,13 @@ class ScenarioConfig:
         injector object, no fault RNG streams, results bit-identical
         to pre-fault builds.  Participates in cache fingerprints like
         every other field.
+    detector:
+        Optional detector spec string (see :mod:`repro.detect`), e.g.
+        ``"cusum:h=2.0,k=0.25"``.  ``None`` keeps the paper's W/THRESH
+        window detector — the exact pre-registry receiver pipeline,
+        bit-identical results.  Only valid with the CORRECT protocol
+        (the 802.11 baseline has no receiver-side monitor to host a
+        detector).
     """
 
     topology: Topology
@@ -79,6 +87,7 @@ class ScenarioConfig:
     adaptive_thresh: bool = False
     use_rts_cts: bool = True
     faults: Optional[FaultProfile] = None
+    detector: Optional[str] = None
 
     def with_seed(self, seed: int) -> "ScenarioConfig":
         """Copy of this config under a different seed."""
@@ -135,11 +144,37 @@ class RunResult:
         """Per-sender throughput (bps) of the measured senders."""
         return self.collector.throughputs(self.duration_us)
 
+    # ------------------------------------------------------------------
+    # Detector evaluation metrics (see repro.detect)
+    # ------------------------------------------------------------------
+    @property
+    def detection_rate_percent(self) -> float:
+        """% of misbehaving senders' judged packets found diagnosed."""
+        return self.collector.detection_rate_percent()
+
+    @property
+    def false_alarm_percent(self) -> float:
+        """% of honest senders' judged packets (wrongly) diagnosed."""
+        return self.collector.false_alarm_percent()
+
+    def detection_latency_packets(self, src: int) -> Optional[int]:
+        """Judged packets until ``src`` first stood diagnosed (or None)."""
+        return self.collector.detection_latency_packets(src)
+
+    def detection_latency_us(self, src: int) -> Optional[int]:
+        """Sim time (us) when ``src`` first stood diagnosed (or None)."""
+        return self.collector.detection_latency_us(src)
+
 
 def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
               node_id: int, policy: ConformingPolicy,
               timings: Optional[PhyTimings] = None):
     if config.protocol == PROTOCOL_80211:
+        if config.detector is not None:
+            raise ValueError(
+                "detector specs require the 'correct' protocol: the "
+                "802.11 baseline has no receiver-side monitor"
+            )
         return DcfMac(
             sim, medium, node_id, registry, collector,
             payload_bytes=config.payload_bytes, policy=policy,
@@ -147,6 +182,10 @@ def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
             use_rts_cts=config.use_rts_cts,
         )
     if config.protocol == PROTOCOL_CORRECT:
+        factory = (
+            detector_factory(config.detector, config.protocol_config)
+            if config.detector is not None else None
+        )
         return CorrectMac(
             sim, medium, node_id, registry, collector,
             payload_bytes=config.payload_bytes, policy=policy,
@@ -157,6 +196,7 @@ def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
             audit_sender_assignments=config.audit_sender_assignments,
             refuse_diagnosed=config.refuse_diagnosed,
             adaptive_thresh=config.adaptive_thresh,
+            detector_factory=factory,
         )
     raise ValueError(f"unknown protocol {config.protocol!r}")
 

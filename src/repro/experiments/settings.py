@@ -68,6 +68,9 @@ class EvalSettings:
     fault_loss_rates:
         ACK/CTS loss-rate sweep of the fault-robustness figure
         (``figure_faults``); 0.0 is the clean reference point.
+    detectors:
+        Detector specs compared by the ``detectors`` figure (see
+        :mod:`repro.detect` for the spec syntax).
     """
 
     duration_us: int
@@ -81,6 +84,7 @@ class EvalSettings:
     random_nodes: int = 40
     random_misbehaving: int = 5
     fault_loss_rates: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4)
+    detectors: Tuple[str, ...] = ("window", "cusum", "estimator")
 
     @property
     def duration_s(self) -> float:

@@ -196,6 +196,17 @@ class BackoffTimer:
 
     def _freeze(self) -> None:
         if self._state == "wait_ifs":
+            # A zero-slot countdown whose IFS completes on this very
+            # timestamp is already committed (same rule as the counting
+            # branch below): let the pending completion fire and expire.
+            if (
+                self.remaining == 0
+                and self._handle is not None
+                and self._handle.pending
+                and self._handle.time == self.sim.now
+            ):
+                self._state = "frozen"
+                return
             self._cancel_handle()
             self._state = "frozen"
             return

@@ -31,7 +31,7 @@ counts down only part of whatever backoff this MAC computed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.adaptive import AdaptiveThreshold
 from repro.core.attempt_verify import AttemptAuditor
@@ -39,6 +39,7 @@ from repro.core.backoff_function import retry_backoff
 from repro.core.monitor import SenderMonitor
 from repro.core.params import PAPER_CONFIG, ProtocolConfig
 from repro.core.receiver_verify import ReceiverAuditor
+from repro.detect.base import Detector
 from repro.mac.dcf import DcfMac, _Responder
 from repro.mac.frames import Frame
 
@@ -62,7 +63,14 @@ class CorrectMac(DcfMac):
         :class:`repro.core.adaptive.AdaptiveThreshold` (the paper's
         deferred future work): the receiver tracks the noise of the
         per-packet differences across all its senders and re-derives
-        THRESH to hold a target misdiagnosis rate.
+        THRESH to hold a target misdiagnosis rate.  Only meaningful
+        for threshold-style detectors (the default ``window``).
+    detector_factory:
+        Zero-argument callable producing one fresh
+        :class:`~repro.detect.base.Detector` per monitored sender
+        (see :func:`repro.detect.detector_factory`).  ``None`` keeps
+        the paper's W/THRESH window detector, bit-identical to
+        pre-registry builds.
     """
 
     modified_protocol = True
@@ -75,6 +83,7 @@ class CorrectMac(DcfMac):
         audit_sender_assignments: bool = False,
         refuse_diagnosed: bool = False,
         adaptive_thresh: bool = False,
+        detector_factory: Optional[Callable[[], Detector]] = None,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -92,6 +101,7 @@ class CorrectMac(DcfMac):
         )
         self.refuse_diagnosed = refuse_diagnosed
         self.audit_sender_assignments = audit_sender_assignments
+        self.detector_factory = detector_factory
         self._monitors: Dict[int, SenderMonitor] = {}
         self._assignments: Dict[int, int] = {}
         self._stage1_backoff: Dict[int, int] = {}
@@ -108,8 +118,13 @@ class CorrectMac(DcfMac):
         """The per-sender monitor (created on first contact)."""
         monitor = self._monitors.get(sender)
         if monitor is None:
+            detector = (
+                self.detector_factory()
+                if self.detector_factory is not None else None
+            )
             monitor = SenderMonitor(
-                sender, self.config, self.rng, receiver_id=self.node_id
+                sender, self.config, self.rng, receiver_id=self.node_id,
+                detector=detector,
             )
             self._monitors[sender] = monitor
         return monitor
@@ -136,9 +151,11 @@ class CorrectMac(DcfMac):
         if self.refuse_diagnosed and monitor.is_misbehaving:
             return None
         idle_now = self.idle_counter.idle_slots(self.sim.now)
-        if self.adaptive_threshold is not None:
-            monitor.diagnosis.thresh = self.adaptive_threshold.current_thresh()
-        verdict = monitor.on_rts(attempt, idle_now, seq=seq)
+        if self.adaptive_threshold is not None and hasattr(
+            monitor.detector, "thresh"
+        ):
+            monitor.detector.thresh = self.adaptive_threshold.current_thresh()
+        verdict = monitor.on_rts(attempt, idle_now, seq=seq, now_us=self.sim.now)
         if self.adaptive_threshold is not None and verdict.deviation is not None:
             self.adaptive_threshold.update(verdict.deviation.difference)
         self.collector.on_rts_verdict(

@@ -47,6 +47,13 @@ class FlowStats:
     total_delay_us: int = 0
     acked_packets: int = 0
     total_attempts: int = 0
+    #: Receiver-side monitor verdicts (CORRECT protocol only): how
+    #: many packets were judged, how many found the sender diagnosed,
+    #: and when the first flag happened (detection latency).
+    verdicts: int = 0
+    flagged_verdicts: int = 0
+    first_flag_time_us: Optional[int] = None
+    first_flag_packets: Optional[int] = None
 
     @property
     def mean_delay_us(self) -> float:
@@ -138,6 +145,12 @@ class MetricsCollector:
         if verdict.penalty > 0:
             stats.penalties_assigned += 1
             stats.penalty_slots += verdict.penalty
+        stats.verdicts += 1
+        if verdict.diagnosed:
+            stats.flagged_verdicts += 1
+            if stats.first_flag_time_us is None:
+                stats.first_flag_time_us = time
+                stats.first_flag_packets = stats.verdicts
 
     def on_attempt_audit(self, receiver: int, outcome, time: int) -> None:
         """A completed intentional-drop attempt audit."""
@@ -215,6 +228,51 @@ class MetricsCollector:
     def misdiagnosis_percent(self) -> float:
         """Paper metric 2: % of honest senders' packets (mis)diagnosed."""
         return self._diagnosis_rate(want_misbehaving=False)
+
+    # ------------------------------------------------------------------
+    # Detector evaluation (detection latency / operating point)
+    # ------------------------------------------------------------------
+    def detection_latency_packets(self, src: int) -> Optional[int]:
+        """Packets judged before ``src`` first stood diagnosed.
+
+        1 means the very first judged packet was flagged; ``None``
+        means the sender was never flagged (or never judged).
+        """
+        stats = self.flows.get(src)
+        return stats.first_flag_packets if stats is not None else None
+
+    def detection_latency_us(self, src: int) -> Optional[int]:
+        """Sim time at which ``src`` first stood diagnosed (or None)."""
+        stats = self.flows.get(src)
+        return stats.first_flag_time_us if stats is not None else None
+
+    def _flag_rate(self, want_misbehaving: bool) -> float:
+        """% of judged packets of one sender class found diagnosed.
+
+        Unlike :meth:`correct_diagnosis_percent` (which follows the
+        paper in counting *delivered* packets), this counts every
+        receiver-side verdict, so it also sees packets the exchange
+        later lost — the per-observation operating point a detector's
+        ROC is defined over.
+        """
+        verdicts = 0
+        flagged = 0
+        for src, stats in self.flows.items():
+            if not self._subject(src):
+                continue
+            if (src in self.misbehaving) != want_misbehaving:
+                continue
+            verdicts += stats.verdicts
+            flagged += stats.flagged_verdicts
+        return 100.0 * flagged / verdicts if verdicts else 0.0
+
+    def detection_rate_percent(self) -> float:
+        """% of misbehaving senders' judged packets found diagnosed."""
+        return self._flag_rate(want_misbehaving=True)
+
+    def false_alarm_percent(self) -> float:
+        """% of honest senders' judged packets (wrongly) diagnosed."""
+        return self._flag_rate(want_misbehaving=False)
 
     def diagnosis_time_series(
         self, bin_us: int, duration_us: int, misbehaving_only: bool = True

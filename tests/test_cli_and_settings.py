@@ -86,6 +86,44 @@ class TestCli:
         assert code == 2
         assert "unknown" in capsys.readouterr().err
 
+    def test_figures_unknown_id_lists_available(self, capsys):
+        from repro.experiments import ALL_FIGURES
+
+        code = main(["figures", "figZZ", "fig4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "figZZ" in err
+        for fid in ALL_FIGURES:
+            assert fid in err
+        assert "detectors" in err
+
+    def test_run_with_detector(self, capsys):
+        code = main([
+            "run", "--pm", "100", "--seconds", "0.5", "--senders", "4",
+            "--detector", "cusum:h=2.0,k=0.25",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detection rate" in out
+        assert "time to detection" in out
+
+    def test_run_bad_detector_spec(self, capsys):
+        code = main([
+            "run", "--seconds", "0.3", "--detector", "nope",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bad --detector spec" in err
+        assert "window" in err  # lists registered names
+
+    def test_run_detector_requires_correct_protocol(self, capsys):
+        code = main([
+            "run", "--protocol", "802.11", "--seconds", "0.3",
+            "--detector", "cusum",
+        ])
+        assert code == 2
+        assert "correct" in capsys.readouterr().err
+
     def test_theory_subcommand(self, capsys):
         code = main(["theory", "--sizes", "2", "--seconds", "0.5"])
         assert code == 0

@@ -1,0 +1,314 @@
+"""Tests for the pluggable detection subsystem (repro.detect)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diagnosis import DiagnosisWindow
+from repro.core.monitor import SenderMonitor
+from repro.core.params import PAPER_CONFIG
+from repro.detect import (
+    CusumDetector,
+    CwminEstimatorDetector,
+    Detector,
+    DetectorSpecError,
+    Observation,
+    WindowDetector,
+    detector_factory,
+    make_detector,
+    parse_spec,
+    registered_detectors,
+)
+
+#: Observation streams used by property tests: (b_exp, b_act) pairs.
+pairs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.0, max_value=1000.0),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def obs(b_exp, b_act, retries=1, time_us=0):
+    return Observation(b_exp=b_exp, b_act=b_act, retries=retries,
+                       time_us=time_us)
+
+
+class TestObservation:
+    def test_difference_matches_deviation_arithmetic(self):
+        assert obs(31, 7).difference == float(31 - 7)
+        assert obs(3.5, 10.0).difference == -6.5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            obs(1, 2).b_exp = 3
+
+    def test_protocol_conformance(self):
+        for spec in registered_detectors():
+            assert isinstance(
+                make_detector(spec, PAPER_CONFIG), Detector
+            )
+
+
+class TestWindowAdapter:
+    @given(pairs)
+    @settings(max_examples=100)
+    def test_matches_diagnosis_window_verdict_for_verdict(self, stream):
+        """The adapter and the raw window must agree on every packet."""
+        raw = DiagnosisWindow(window=5, thresh=20.0)
+        adapted = WindowDetector(window=5, thresh=20.0)
+        for b_exp, b_act in stream:
+            expected = raw.update(float(b_exp - b_act))
+            assert adapted.observe(obs(b_exp, b_act)) is expected
+            assert adapted.is_misbehaving is raw.is_misbehaving
+            assert adapted.windowed_sum == raw.windowed_sum
+
+    def test_counters_forward_to_window(self):
+        det = WindowDetector(window=2, thresh=0.0)
+        det.observe(obs(5, 0))   # sum 5 > 0: flagged
+        det.observe(obs(0, 10))  # sum -5: clear
+        assert det.observations == 2
+        assert det.flagged_observations == 1
+
+    def test_thresh_setter_reaches_window(self):
+        det = WindowDetector(window=5, thresh=20.0)
+        det.thresh = 100.0
+        assert det.window.thresh == 100.0
+        assert det.thresh == 100.0
+
+    def test_reset(self):
+        det = WindowDetector(window=3, thresh=5.0)
+        det.observe(obs(100, 0))
+        assert det.is_misbehaving
+        det.reset()
+        assert not det.is_misbehaving
+        assert det.windowed_sum == 0.0
+
+
+class TestCusum:
+    def test_honest_stream_never_flagged(self):
+        det = CusumDetector(h=2.0, k=0.25, norm=31.0)
+        rng = random.Random(7)
+        for _ in range(500):
+            # Honest sender: deficit fluctuates around zero.
+            x = rng.uniform(-10.0, 10.0)
+            det.observe(obs(b_exp=x if x > 0 else 0.0,
+                            b_act=-x if x < 0 else 0.0))
+        assert not det.is_misbehaving
+
+    def test_sustained_deficit_flags(self):
+        det = CusumDetector(h=2.0, k=0.25, norm=31.0)
+        flagged = False
+        for _ in range(20):
+            flagged = det.observe(obs(b_exp=31.0, b_act=3.0)) or flagged
+        assert flagged and det.is_misbehaving
+
+    def test_statistic_clamped_at_zero(self):
+        det = CusumDetector(h=2.0, k=0.25, norm=31.0)
+        for _ in range(50):
+            det.observe(obs(b_exp=0.0, b_act=100.0))  # over-waiting
+        assert det.statistic == 0.0
+
+    def test_recovers_after_cheating_stops(self):
+        det = CusumDetector(h=2.0, k=0.25, norm=31.0)
+        for _ in range(20):
+            det.observe(obs(b_exp=31.0, b_act=0.0))
+        assert det.is_misbehaving
+        for _ in range(200):
+            det.observe(obs(b_exp=10.0, b_act=10.0))
+        assert not det.is_misbehaving
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CusumDetector(h=0.0)
+        with pytest.raises(ValueError):
+            CusumDetector(k=-1.0)
+        with pytest.raises(ValueError):
+            CusumDetector(norm=0.0)
+
+
+class TestEstimator:
+    def test_silent_until_min_samples(self):
+        det = CwminEstimatorDetector(fraction=0.5, min_samples=8,
+                                     window=64, cw_min=31.0)
+        for _ in range(7):
+            assert not det.observe(obs(b_exp=31.0, b_act=0.0))
+        assert det.observe(obs(b_exp=31.0, b_act=0.0))
+
+    def test_estimate_tracks_ratio(self):
+        det = CwminEstimatorDetector(cw_min=31.0)
+        for _ in range(10):
+            det.observe(obs(b_exp=30.0, b_act=15.0))
+        assert det.estimate == pytest.approx(15.5)
+
+    def test_honest_sender_not_flagged(self):
+        det = CwminEstimatorDetector(fraction=0.5, min_samples=8,
+                                     window=64, cw_min=31.0)
+        rng = random.Random(11)
+        for _ in range(300):
+            b = rng.uniform(0.0, 62.0)
+            det.observe(obs(b_exp=b, b_act=b + rng.uniform(-2.0, 2.0)))
+        assert not det.is_misbehaving
+
+    def test_window_eviction_forgets_old_cheating(self):
+        det = CwminEstimatorDetector(fraction=0.5, min_samples=4,
+                                     window=8, cw_min=31.0)
+        for _ in range(8):
+            det.observe(obs(b_exp=31.0, b_act=1.0))
+        assert det.is_misbehaving
+        for _ in range(8):  # honest samples push the cheating out
+            det.observe(obs(b_exp=20.0, b_act=20.0))
+        assert not det.is_misbehaving
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CwminEstimatorDetector(fraction=0.0)
+        with pytest.raises(ValueError):
+            CwminEstimatorDetector(fraction=1.0)
+        with pytest.raises(ValueError):
+            CwminEstimatorDetector(min_samples=0)
+        with pytest.raises(ValueError):
+            CwminEstimatorDetector(min_samples=10, window=5)
+        with pytest.raises(ValueError):
+            CwminEstimatorDetector(cw_min=0.0)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(registered_detectors()) >= {
+            "window", "cusum", "estimator"
+        }
+
+    def test_parse_plain_name(self):
+        assert parse_spec("window") == ("window", {})
+
+    def test_parse_with_params(self):
+        name, params = parse_spec("cusum:h=2.5,k=0.1")
+        assert name == "cusum"
+        assert params == {"h": 2.5, "k": 0.1}
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(DetectorSpecError) as err:
+            parse_spec("nonsense")
+        msg = str(err.value)
+        for name in registered_detectors():
+            assert name in msg
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(DetectorSpecError):
+            parse_spec("")
+        with pytest.raises(DetectorSpecError):
+            parse_spec("   ")
+
+    def test_malformed_param_actionable(self):
+        with pytest.raises(DetectorSpecError, match="key=value"):
+            parse_spec("cusum:h")
+
+    def test_unknown_param_lists_accepted(self):
+        with pytest.raises(DetectorSpecError) as err:
+            parse_spec("cusum:bogus=1")
+        assert "h, k, norm" in str(err.value)
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(DetectorSpecError, match="twice"):
+            parse_spec("cusum:h=1,h=2")
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(DetectorSpecError, match="not a number"):
+            parse_spec("cusum:h=abc")
+
+    def test_invalid_value_cites_spec(self):
+        with pytest.raises(DetectorSpecError, match="window:W=0"):
+            make_detector("window:W=0", PAPER_CONFIG)
+
+    def test_defaults_come_from_config(self):
+        det = make_detector("window", PAPER_CONFIG)
+        assert det.window.window == PAPER_CONFIG.window
+        assert det.thresh == PAPER_CONFIG.thresh
+        cus = make_detector("cusum", PAPER_CONFIG)
+        assert cus.norm == float(PAPER_CONFIG.cw_min)
+        est = make_detector("estimator", PAPER_CONFIG)
+        assert est.cw_min == float(PAPER_CONFIG.cw_min)
+
+    def test_spec_overrides_config(self):
+        det = make_detector("window:W=64,thresh=40", PAPER_CONFIG)
+        assert det.window.window == 64
+        assert det.thresh == 40.0
+
+    def test_factory_returns_fresh_instances(self):
+        factory = detector_factory("cusum", PAPER_CONFIG)
+        a, b = factory(), factory()
+        assert a is not b
+        a.observe(obs(31, 0))
+        assert b.statistic == 0.0
+
+    def test_factory_validates_eagerly(self):
+        with pytest.raises(DetectorSpecError):
+            detector_factory("nope", PAPER_CONFIG)
+
+    @given(pairs)
+    @settings(max_examples=25)
+    def test_detectors_deterministic(self, stream):
+        """Same observation stream -> same verdicts (no hidden RNG)."""
+        for spec in registered_detectors():
+            one = make_detector(spec, PAPER_CONFIG)
+            two = make_detector(spec, PAPER_CONFIG)
+            for b_exp, b_act in stream:
+                o = obs(b_exp, b_act)
+                assert one.observe(o) is two.observe(o)
+            assert one.is_misbehaving is two.is_misbehaving
+
+
+class _RecordingDetector:
+    """Fake detector capturing what the monitor feeds it."""
+
+    def __init__(self):
+        self.seen = []
+
+    def observe(self, observation):
+        self.seen.append(observation)
+        return False
+
+    @property
+    def is_misbehaving(self):
+        return False
+
+    def reset(self):
+        self.seen.clear()
+
+
+class TestMonitorIntegration:
+    def _drive(self, monitor, idle, attempt=1):
+        verdict = monitor.on_rts(attempt, idle, now_us=idle * 20)
+        monitor.on_response_sent("ack", attempt, idle)
+        return verdict
+
+    def test_first_packet_not_fed_to_detector(self):
+        det = _RecordingDetector()
+        monitor = SenderMonitor(1, PAPER_CONFIG, random.Random(1),
+                                detector=det)
+        self._drive(monitor, idle=0)
+        assert det.seen == []  # no expectation existed yet
+
+    def test_subsequent_packets_feed_observations(self):
+        det = _RecordingDetector()
+        monitor = SenderMonitor(1, PAPER_CONFIG, random.Random(1),
+                                detector=det)
+        self._drive(monitor, idle=0)
+        self._drive(monitor, idle=10)
+        assert len(det.seen) == 1
+        seen = det.seen[0]
+        assert seen.b_act == 10
+        assert seen.b_exp >= 0
+        assert seen.retries == 1
+        assert seen.time_us == 200
+
+    def test_default_detector_is_paper_window(self):
+        monitor = SenderMonitor(1, PAPER_CONFIG, random.Random(1))
+        assert isinstance(monitor.detector, WindowDetector)
+        assert isinstance(monitor.diagnosis, DiagnosisWindow)
+        assert monitor.diagnosis.window == PAPER_CONFIG.window

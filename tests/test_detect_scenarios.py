@@ -1,0 +1,128 @@
+"""Scenario-level detector tests: regression + end-to-end behavior.
+
+The acceptance bar for the detector subsystem is twofold:
+
+* plugging ``detector="window"`` in must leave every run bit-identical
+  to the pre-registry pipeline (``detector=None``) — same RNG draws,
+  same event order, same deliveries;
+* the alternative detectors must actually work online: flag a heavy
+  cheater quickly, never flag honest senders at their defaults.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.net.topology import circle_topology
+
+MISBEHAVING_NODE = 3
+
+
+def _config(detector=None, pm=0.0, n=4, with_interferers=False,
+            duration_us=800_000, seed=1):
+    misbehaving = (MISBEHAVING_NODE,) if pm > 0 else ()
+    topo = circle_topology(
+        n, misbehaving=misbehaving, pm_percent=pm,
+        with_interferers=with_interferers,
+    )
+    return ScenarioConfig(
+        topology=topo, protocol=PROTOCOL_CORRECT,
+        duration_us=duration_us, seed=seed, detector=detector,
+    )
+
+
+def _assert_bit_identical(config_a, config_b):
+    a = run_scenario(config_a)
+    b = run_scenario(config_b)
+    assert a.collector.deliveries == b.collector.deliveries
+    assert a.events_processed == b.events_processed
+    assert a.correct_diagnosis_percent == b.correct_diagnosis_percent
+    assert a.misdiagnosis_percent == b.misdiagnosis_percent
+    assert a.throughputs() == b.throughputs()
+
+
+class TestWindowRegression:
+    """detector="window" is the pre-registry pipeline, bit for bit."""
+
+    def test_fig6_style_honest_run(self):
+        # Figure 6 setting: honest senders, no interferers.
+        _assert_bit_identical(
+            _config(detector=None, n=4),
+            _config(detector="window", n=4),
+        )
+
+    def test_fig8_style_misbehaving_run(self):
+        # Figure 8 setting: PM cheater in the TWO-FLOW circle.
+        _assert_bit_identical(
+            _config(detector=None, pm=80.0, n=8, with_interferers=True),
+            _config(detector="window", pm=80.0, n=8, with_interferers=True),
+        )
+
+    def test_explicit_paper_params_also_identical(self):
+        _assert_bit_identical(
+            _config(detector=None, pm=60.0, n=8),
+            _config(detector="window:W=5,thresh=20", pm=60.0, n=8),
+        )
+
+
+class TestDetectorBehavior:
+    @pytest.mark.parametrize("spec", ["cusum", "estimator"])
+    def test_flags_heavy_cheater(self, spec):
+        result = run_scenario(_config(detector=spec, pm=90.0, n=8))
+        assert result.detection_rate_percent > 50.0
+        assert result.detection_latency_packets(MISBEHAVING_NODE) is not None
+        assert result.detection_latency_us(MISBEHAVING_NODE) is not None
+
+    @pytest.mark.parametrize("spec", ["window", "cusum", "estimator"])
+    def test_honest_senders_not_flagged(self, spec):
+        result = run_scenario(_config(detector=spec, pm=0.0, n=8))
+        assert result.false_alarm_percent < 5.0
+        if result.false_alarm_percent == 0.0:
+            # No flags at all -> no sender has a detection latency.
+            assert all(
+                result.detection_latency_packets(s) is None
+                for s in range(1, 9)
+            )
+
+    def test_detection_latency_orders_sensibly(self):
+        result = run_scenario(_config(detector="window", pm=90.0, n=8))
+        pkts = result.detection_latency_packets(MISBEHAVING_NODE)
+        time_us = result.detection_latency_us(MISBEHAVING_NODE)
+        assert pkts is not None and pkts >= 2  # first packet never judged
+        assert 0 < time_us <= result.duration_us
+
+    def test_verdict_counters_populated(self):
+        result = run_scenario(_config(detector="cusum", pm=90.0, n=4))
+        stats = result.collector.flows[MISBEHAVING_NODE]
+        assert stats.verdicts > 0
+        assert stats.flagged_verdicts <= stats.verdicts
+
+
+class TestConfigValidation:
+    def test_detector_rejected_for_80211(self):
+        topo = circle_topology(2)
+        config = ScenarioConfig(
+            topology=topo, protocol=PROTOCOL_80211,
+            duration_us=100_000, detector="cusum",
+        )
+        with pytest.raises(ValueError, match="correct"):
+            run_scenario(config)
+
+    def test_bad_spec_fails_at_build_time(self):
+        from repro.detect import DetectorSpecError
+
+        config = _config(detector="definitely-not-a-detector")
+        with pytest.raises(DetectorSpecError):
+            run_scenario(config)
+
+    def test_detector_participates_in_fingerprint(self):
+        from repro.experiments.cache import config_fingerprint
+
+        assert config_fingerprint(_config(detector=None)) != \
+            config_fingerprint(_config(detector="cusum"))
+        assert config_fingerprint(_config(detector="cusum:h=2.0")) != \
+            config_fingerprint(_config(detector="cusum:h=3.0"))

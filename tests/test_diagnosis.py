@@ -101,3 +101,65 @@ class TestWindowProperties:
         win = DiagnosisWindow(window=5, thresh=20)
         for v in values:
             assert not win.update(v)
+
+
+class TestWindowEdgeCases:
+    """Eviction bookkeeping under float accumulation, and counters."""
+
+    @given(st.lists(
+        st.floats(min_value=-1e12, max_value=1e12,
+                  allow_nan=False, allow_infinity=False),
+        min_size=10, max_size=200,
+    ))
+    @settings(max_examples=100)
+    def test_eviction_keeps_running_sum_consistent(self, values):
+        """After every update, the incrementally maintained sum must
+        match a from-scratch recomputation over the window contents —
+        i.e. eviction subtracts exactly what insertion added, with no
+        float drift relative to the same left-to-right summation."""
+        win = DiagnosisWindow(window=7, thresh=0)
+        for v in values:
+            win.update(v)
+            recomputed = 0.0
+            for kept in win.contents:
+                recomputed += kept
+            assert win.windowed_sum == pytest.approx(
+                recomputed, rel=1e-9, abs=1e-6
+            )
+
+    def test_mixed_magnitude_eviction(self):
+        """A huge sample rolling out must not leave residue behind."""
+        win = DiagnosisWindow(window=3, thresh=1e6)
+        for v in (1e15, 1.0, 1.0, 1.0):  # the 1e15 has rolled out
+            win.update(v)
+        assert win.contents == (1.0, 1.0, 1.0)
+        assert win.windowed_sum == pytest.approx(sum(win.contents))
+
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_observation_counters_monotone_and_exact(self, values):
+        win = DiagnosisWindow(window=5, thresh=10)
+        flagged = 0
+        for i, v in enumerate(values, start=1):
+            if win.update(v):
+                flagged += 1
+            assert win.observations == i
+            assert win.flagged_observations == flagged
+        assert 0 <= win.flagged_observations <= win.observations
+
+    def test_counters_survive_eviction(self):
+        """Counters are lifetime tallies, not window-bounded."""
+        win = DiagnosisWindow(window=2, thresh=0)
+        for _ in range(10):
+            win.update(1.0)  # always above thresh
+        assert win.observations == 10
+        assert win.flagged_observations == 10
+        assert len(win.contents) == 2
+
+    def test_reset_clears_counters(self):
+        win = DiagnosisWindow(window=2, thresh=0)
+        win.update(1.0)
+        win.reset()
+        assert win.observations == 0
+        assert win.flagged_observations == 0

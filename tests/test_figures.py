@@ -7,6 +7,7 @@ from repro.experiments.figures import (
     figure4,
     figure5,
     figure8,
+    figure_detectors,
     intro_claim,
 )
 from repro.experiments.report import render_table, to_json
@@ -88,6 +89,38 @@ class TestIntroClaim:
         cheat = fig.series["cheater (MSB)"][0][1]
         assert cheat > fair
         assert "degradation_percent" in fig.meta
+
+
+class TestFigureDetectors:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure_detectors(TINY)
+
+    def test_all_detectors_produce_operating_point_series(self, fig):
+        for spec in TINY.detectors:
+            assert f"{spec} - detection %" in fig.series
+            assert f"{spec} - false alarm %" in fig.series
+        assert fig.meta["detectors"] == list(TINY.detectors)
+
+    def test_full_misbehavior_detected_by_every_detector(self, fig):
+        for spec in TINY.detectors:
+            detection = dict(fig.series[f"{spec} - detection %"])
+            assert detection[100.0] > 50.0, spec
+
+    def test_no_misbehavior_means_low_false_alarms(self, fig):
+        for spec in TINY.detectors:
+            alarms = dict(fig.series[f"{spec} - false alarm %"])
+            assert alarms[0.0] < 10.0, spec
+
+    def test_latency_series_only_for_positive_pm(self, fig):
+        for spec in TINY.detectors:
+            pkts = fig.series.get(f"{spec} - TTD (pkts)", [])
+            ms = fig.series.get(f"{spec} - TTD (ms)", [])
+            assert all(x > 0 for x, _ in pkts)
+            assert all(x > 0 for x, _ in ms)
+            # At PM=100 a flag must have happened for every detector.
+            assert 100.0 in dict(pkts), spec
+            assert all(y >= 1.0 for _, y in pkts)
 
 
 class TestReport:
