@@ -1,0 +1,81 @@
+"""Tracing and conformance-replay overhead.
+
+Two concerns:
+
+* with no trace attached, the producers' ``trace is not None`` guards
+  are the only cost — a traced-capable build must run the detectors
+  benchmark scenario at the same speed as the seed;
+* with tracing attached *and* the full rule engine replaying the
+  trace, the end-to-end cost stays within 1.5x of the untraced run,
+  and the trace of a misbehaving cell still replays violation-free
+  (sequencing rules are orthogonal to backoff cheating).
+"""
+
+import time
+
+from repro.experiments.scenarios import (
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.net.topology import circle_topology
+from repro.sim.trace import TraceLog
+from repro.validation import ProtocolChecker
+
+
+def _run(config, trace=None):
+    sim, nodes, collector = build_scenario(config, trace=trace)
+    for node in nodes:
+        node.start()
+    sim.run(until=config.duration_us)
+    return collector
+
+
+def _timed(config, trace=None):
+    # CPU time, not wall clock: the sim is compute-bound, and the
+    # overhead ratio must not be decided by scheduler preemption on a
+    # loaded host.
+    start = time.process_time()
+    collector = _run(config, trace=trace)
+    return collector, time.process_time() - start
+
+
+def test_tracing_and_replay_overhead(benchmark):
+    """Trace + full-rule replay stays under 1.5x of the untraced run."""
+    topo = circle_topology(8, misbehaving=(3,), pm_percent=60.0)
+    config = ScenarioConfig(topology=topo, protocol=PROTOCOL_CORRECT,
+                            duration_us=1_000_000, seed=1)
+
+    baseline = benchmark(_run, config)
+    assert baseline.deliveries
+
+    # Same-machine comparison after the benchmark warmed the path;
+    # untraced and traced samples interleave so a sustained load burst
+    # hits both sides, and min-of-N discards transient spikes.
+    base_t = traced_t = float("inf")
+    untraced = traced = trace = None
+    for _ in range(4):
+        untraced, t = _timed(config)
+        base_t = min(base_t, t)
+        trace = TraceLog()
+        traced, t = _timed(config, trace=trace)
+        traced_t = min(traced_t, t)
+
+    # Tracing must never perturb behaviour, only record it.
+    assert traced.flows[1].delivered_packets == \
+        untraced.flows[1].delivered_packets
+    assert len(trace) > 10_000
+
+    check_start = time.process_time()
+    report = ProtocolChecker().check(trace)
+    check_t = time.process_time() - check_start
+    assert report.ok, report.by_rule()
+    assert report.transmissions > 1_000
+
+    ratio = (traced_t + check_t) / base_t if base_t > 0 else 1.0
+    benchmark.extra_info["trace_events"] = len(trace)
+    benchmark.extra_info["traced_plus_check_ratio"] = round(ratio, 3)
+    assert ratio < 1.5, (
+        f"tracing+replay took {ratio:.2f}x the untraced run "
+        f"(trace {traced_t:.2f}s, check {check_t:.2f}s, base {base_t:.2f}s)"
+    )

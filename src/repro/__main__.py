@@ -45,6 +45,22 @@ command exits with status 3 so scripts notice the degradation.
 ``theory``
     Print the Bianchi saturation predictions next to simulated values
     for a sweep of network sizes (substrate validation).
+
+``check``
+    Conformance replay (see :mod:`repro.validation.replay`): run
+    registered scenarios with structured tracing attached and replay
+    the traces through the protocol checker's full rule set::
+
+        python -m repro check                      # all scenarios, no faults
+        python -m repro check correct-circle       # one scenario
+        python -m repro check --matrix             # cross with fault profiles
+        python -m repro check --faults jam,crash   # chosen fault profiles
+        python -m repro check --list               # what is registered
+
+    Prints one row per (scenario, fault profile) cell plus a per-rule
+    violation table, and exits non-zero when any cell has violations
+    (or a run failed outright) — CI runs the full matrix on every
+    push.
 """
 
 from __future__ import annotations
@@ -176,6 +192,91 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.validation import FAULT_PROFILES, SCENARIOS, run_matrix
+    from repro.validation.checker import RULE_NAMES
+
+    if args.list:
+        print("registered scenarios:")
+        for sc in SCENARIOS.values():
+            honesty = "" if sc.honest else "  [cheater]"
+            print(f"  {sc.name:<22}{sc.description}{honesty}")
+        print("fault profiles:")
+        for name, spec in FAULT_PROFILES.items():
+            print(f"  {name:<22}{spec or '(fault layer absent)'}")
+        return 0
+
+    scenario_names = args.scenarios or list(SCENARIOS)
+    unknown = [s for s in scenario_names if s not in SCENARIOS]
+    if unknown:
+        print(f"unknown scenario(s): {', '.join(unknown)}\n"
+              f"available: {', '.join(SCENARIOS)}", file=sys.stderr)
+        return 2
+    if args.matrix:
+        profile_names = list(FAULT_PROFILES)
+    elif args.faults:
+        profile_names = [p.strip() for p in args.faults.split(",") if p.strip()]
+        bad = [p for p in profile_names if p not in FAULT_PROFILES]
+        if bad:
+            print(f"unknown fault profile(s): {', '.join(bad)}\n"
+                  f"available: {', '.join(FAULT_PROFILES)}", file=sys.stderr)
+            return 2
+    else:
+        profile_names = ["none"]
+
+    workers = args.workers
+    if workers is None:
+        from repro.experiments.executor import default_workers
+
+        workers = default_workers()
+    duration_us = int(args.seconds * 1_000_000)
+    outcomes = run_matrix(
+        scenario_names, profile_names, duration_us,
+        seed=args.seed, workers=workers,
+    )
+    print(f"conformance replay: {len(scenario_names)} scenario(s) x "
+          f"{len(profile_names)} fault profile(s), t={args.seconds:g}s "
+          f"seed={args.seed}")
+    header = (f"{'scenario':<22}{'faults':<10}{'result':<8}"
+              f"{'tx':>7}{'resp':>7}{'events':>9}  violations")
+    print(header)
+    print("-" * len(header))
+    failed = []
+    for out in outcomes:
+        if out.error is not None:
+            result, summary = "ERROR", out.error
+        elif out.ok:
+            result, summary = "ok", "-"
+        else:
+            result = "FAIL"
+            summary = ", ".join(
+                f"{rule}={count}" for rule, count in sorted(out.by_rule.items())
+            )
+        if result != "ok":
+            failed.append(out)
+        print(f"{out.scenario:<22}{out.profile:<10}{result:<8}"
+              f"{out.transmissions:>7}{out.responses_checked:>7}"
+              f"{out.trace_events:>9}  {summary}")
+    if failed:
+        totals = {}
+        for out in failed:
+            for rule, count in out.by_rule.items():
+                totals[rule] = totals.get(rule, 0) + count
+        print("\nviolations by rule:")
+        for rule in RULE_NAMES:
+            if rule in totals:
+                print(f"  {rule:<24}{totals[rule]:>6}")
+        print("\nfirst violations:")
+        for out in failed:
+            for rule, time, node, detail in out.violations[:args.show]:
+                print(f"  {out.scenario}/{out.profile} t={time} node={node} "
+                      f"[{rule}] {detail}")
+        print(f"\n{len(failed)} of {len(outcomes)} cell(s) non-conformant")
+        return 1
+    print(f"\nall {len(outcomes)} cell(s) conformant")
+    return 0
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     from repro.experiments import PROTOCOL_80211
 
@@ -234,6 +335,27 @@ def main(argv: list[str] | None = None) -> int:
                          help="cache directory (default: REPRO_CACHE_DIR "
                               "or ~/.cache/repro/runs)")
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_check = sub.add_parser(
+        "check", help="conformance-replay registered scenarios"
+    )
+    p_check.add_argument("scenarios", nargs="*",
+                         help="scenario names (default: all registered)")
+    p_check.add_argument("--matrix", action="store_true",
+                         help="cross scenarios with every fault profile")
+    p_check.add_argument("--faults", default=None, metavar="NAMES",
+                         help="comma-separated fault-profile names "
+                              "(default: none)")
+    p_check.add_argument("--seconds", type=float, default=0.4,
+                         help="simulated horizon per cell")
+    p_check.add_argument("--seed", type=int, default=1)
+    p_check.add_argument("--workers", type=int, default=None,
+                         help="process-pool width (default: cpu count)")
+    p_check.add_argument("--show", type=int, default=5,
+                         help="violations printed per failing cell")
+    p_check.add_argument("--list", action="store_true",
+                         help="list registered scenarios and profiles")
+    p_check.set_defaults(func=_cmd_check)
 
     p_theory = sub.add_parser("theory", help="Bianchi model vs simulator")
     p_theory.add_argument("--sizes", type=int, nargs="+",

@@ -46,9 +46,20 @@ class DiagnosisWindow:
         misbehaving sender", the unit of the paper's accuracy metric).
         """
         if len(self._differences) == self.window:
-            self._sum -= self._differences[0]
-        self._differences.append(difference)
-        self._sum += difference
+            # Recompute instead of subtracting the evicted sample: with
+            # mixed magnitudes the incremental subtract leaves float
+            # residue (adding 1e12 then removing it does not restore
+            # the small-value sum), which would let a huge one-off
+            # spike poison every later verdict.  W is tiny, so the
+            # from-scratch sum costs nothing.
+            self._differences.append(difference)
+            total = 0.0
+            for kept in self._differences:
+                total += kept
+            self._sum = total
+        else:
+            self._differences.append(difference)
+            self._sum += difference
         self.observations += 1
         flagged = self.is_misbehaving
         if flagged:

@@ -202,7 +202,7 @@ def _make_mac(config: ScenarioConfig, sim, medium, registry, collector,
 
 
 def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None,
-                   watchdog: Optional[Watchdog] = None):
+                   watchdog: Optional[Watchdog] = None, trace=None):
     """Construct (but do not run) a scenario; returns (sim, nodes, collector).
 
     Exposed separately from :func:`run_scenario` for tests that want
@@ -212,6 +212,12 @@ def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None,
     ``watchdog`` arms the kernel's guarded loop (default: whatever
     ``REPRO_MAX_EVENTS``/``REPRO_MAX_WALL`` ask for); the guards only
     raise, they never perturb results either.
+
+    ``trace`` optionally attaches a :class:`~repro.sim.trace.TraceLog`
+    to the medium before any node is built, so MAC decisions are
+    captured from t=0.  It is deliberately *not* a config field:
+    tracing never changes behaviour (no RNG draws, no scheduling), so
+    it must not participate in run-cache fingerprints.
 
     When ``config.faults`` is set (and not a no-op) a
     :class:`~repro.faults.FaultInjector` is built, wired into the
@@ -236,6 +242,8 @@ def build_scenario(config: ScenarioConfig, profile: Optional[bool] = None,
         sim, ShadowingModel(), rng=registry.stream("shadowing"),
         timings=PhyTimings(),
     )
+    if trace is not None:
+        medium.trace = trace
     measured: Set[int] = {f.src for f in topo.flows if f.measured}
     collector = MetricsCollector(
         misbehaving=set(topo.misbehaving_senders), measured_senders=measured

@@ -233,6 +233,14 @@ class CorrectMac(DcfMac):
                     verdict=verdict, time=self.sim.now,
                 )
             assigned = verdict.corrected_backoff
+        trace = self.medium.trace
+        if trace is not None:
+            trace.record(
+                self.sim.now, "assignment", self.node_id,
+                src=frame.src, value=assigned,
+                carried=frame.assigned_backoff,
+                frame_kind=frame.kind.value,
+            )
         self._assignments[frame.src] = assigned
 
     def receiver_auditor_for(self, receiver: int) -> Optional[ReceiverAuditor]:

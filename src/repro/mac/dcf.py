@@ -143,6 +143,9 @@ class DcfMac:
         self._pending_eifs = False
         self._seq = 0
         self._crashed = False
+        #: Effective slot count of the countdown currently (or last)
+        #: started; recorded by backoff tracing only.
+        self._backoff_slots = 0
         #: Lifetime counters (observability / tests).
         self.rts_sent = 0
         self.packets_delivered = 0
@@ -183,13 +186,16 @@ class DcfMac:
         """
         if self._crashed:
             return
+        trace = self.medium.trace
+        if trace is not None:
+            trace.record(self.sim.now, "mac_crash", self.node_id)
         self._crashed = True
         self.crashes += 1
         self.timer.cancel()
         self._cancel_timeout()
         self._clear_responder()
         self._current = None
-        self._state = "idle"
+        self._set_state("idle")
         self._nav_until = 0
         if self._nav_handle is not None:
             self._nav_handle.cancel()
@@ -200,6 +206,9 @@ class DcfMac:
         """Rejoin after a crash: fresh DIFS deference, resume draining."""
         if not self._crashed:
             return
+        trace = self.medium.trace
+        if trace is not None:
+            trace.record(self.sim.now, "mac_restart", self.node_id)
         self._crashed = False
         self.idle_counter.resync(self.sim.now)
         self._update_blocked()
@@ -217,6 +226,16 @@ class DcfMac:
         # backoff logic will do next: EIFS after a reception error,
         # DIFS otherwise.
         ifs = self.timings.eifs_us if self._pending_eifs else self.timings.difs_us
+        trace = self.medium.trace
+        if trace is not None and (self._pending_eifs
+                                  or ifs != self.timings.difs_us):
+            # Idle edges are the most frequent MAC event, so only the
+            # informative ones are recorded: a plain DIFS deference
+            # with no EIFS debt tells the checker nothing.  Either a
+            # pending error or a non-DIFS choice records, so deferring
+            # EIFS without cause is caught here, and clearing the debt
+            # too early is caught at the next (always-recorded) "ifs".
+            trace.record(self.sim.now, "defer", self.node_id, ifs_us=ifs)
         self.idle_counter.set_strong(False, self.sim.now, ifs_us=ifs)
         self._update_blocked()
 
@@ -260,8 +279,20 @@ class DcfMac:
     def _current_ifs(self) -> int:
         if self._pending_eifs:
             self._pending_eifs = False
-            return self.timings.eifs_us
-        return self.timings.difs_us
+            ifs = self.timings.eifs_us
+        else:
+            ifs = self.timings.difs_us
+        trace = self.medium.trace
+        if trace is not None:
+            trace.record(self.sim.now, "ifs", self.node_id, ifs_us=ifs)
+        return ifs
+
+    def _set_state(self, state: str) -> None:
+        trace = self.medium.trace
+        if trace is not None and state != self._state:
+            trace.record(self.sim.now, "mac_state", self.node_id,
+                         frm=self._state, to=state)
+        self._state = state
 
     def _set_nav(self, frame: Frame) -> None:
         if frame.duration_us <= 0:
@@ -294,10 +325,26 @@ class DcfMac:
 
     def _begin_backoff(self, nominal_slots: int) -> None:
         effective = self.policy.effective_countdown(nominal_slots)
-        self._state = "backoff"
+        trace = self.medium.trace
+        if trace is not None:
+            ex = self._current
+            trace.record(
+                self.sim.now, "backoff_start", self.node_id,
+                nominal=nominal_slots, effective=effective,
+                dst=ex.dst if ex is not None else -1,
+                stage=ex.attempt if ex is not None else 1,
+                slot_us=self.timings.slot_us,
+                modified=self.modified_protocol,
+            )
+            self._backoff_slots = effective
+        self._set_state("backoff")
         self.timer.start(effective)
 
     def _on_backoff_expired(self) -> None:
+        trace = self.medium.trace
+        if trace is not None:
+            trace.record(self.sim.now, "backoff_commit", self.node_id,
+                         slots=self._backoff_slots)
         if self.use_rts_cts:
             self._transmit_rts()
         else:
@@ -327,7 +374,7 @@ class DcfMac:
             self.node_id, self._outbound(frame), et.rts_airtime
         )
         self.rts_sent += 1
-        self._state = "await_cts"
+        self._set_state("await_cts")
         self._timeout = self.sim.schedule(
             et.rts_airtime + et.cts_timeout, self._on_timeout
         )
@@ -351,7 +398,7 @@ class DcfMac:
         self.medium.start_transmission(
             self.node_id, self._outbound(frame), et.data_airtime
         )
-        self._state = "await_ack"
+        self._set_state("await_ack")
         self._timeout = self.sim.schedule(
             et.data_airtime + et.ack_timeout, self._on_timeout
         )
@@ -362,7 +409,7 @@ class DcfMac:
             return
         self._cancel_timeout()
         self._note_assignment(frame)
-        self._state = "send_data"
+        self._set_state("send_data")
         self.sim.schedule(self.timings.sifs_us, self._transmit_data)
 
     def _transmit_data(self) -> None:
@@ -382,7 +429,7 @@ class DcfMac:
         self.medium.start_transmission(
             self.node_id, self._outbound(frame), et.data_airtime
         )
-        self._state = "await_ack"
+        self._set_state("await_ack")
         self._timeout = self.sim.schedule(
             et.data_airtime + et.ack_timeout, self._on_timeout
         )
@@ -419,7 +466,7 @@ class DcfMac:
 
     def _finish_exchange(self) -> None:
         self._current = None
-        self._state = "idle"
+        self._set_state("idle")
         self._try_dequeue()
 
     def _cancel_timeout(self) -> None:

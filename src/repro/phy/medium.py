@@ -217,14 +217,26 @@ class Medium:
         self._active.append(tx)
         self.transmissions_started += 1
         if self.trace is not None:
-            kind = getattr(getattr(frame, "kind", None), "value", "?")
-            self.trace.record(
-                now, "tx_start", src,
-                frame_kind=kind,
-                dst=getattr(frame, "dst", None),
-                end=tx.end,
-                duration_us=getattr(frame, "duration_us", 0),
-            )
+            try:  # direct access: frames are Frame in every real run
+                self.trace.record(
+                    now, "tx_start", src,
+                    frame_kind=frame.kind.value, dst=frame.dst, end=tx.end,
+                    duration_us=frame.duration_us, seq=frame.seq,
+                    attempt=frame.attempt,
+                    assigned_backoff=frame.assigned_backoff,
+                )
+            except AttributeError:  # duck-typed test stand-ins
+                self.trace.record(
+                    now, "tx_start", src,
+                    frame_kind=getattr(getattr(frame, "kind", None),
+                                       "value", "?"),
+                    dst=getattr(frame, "dst", None),
+                    end=tx.end,
+                    duration_us=getattr(frame, "duration_us", 0),
+                    seq=getattr(frame, "seq", 0),
+                    attempt=getattr(frame, "attempt", 0),
+                    assigned_backoff=getattr(frame, "assigned_backoff", -1),
+                )
         self._notify_start(tx)
         self.sim.schedule(airtime_us, lambda: self._finish_transmission(tx))
         return tx
@@ -330,14 +342,34 @@ class Medium:
             if decoded:
                 self.frames_decoded += 1
                 if self.trace is not None:
-                    kind = getattr(getattr(tx.frame, "kind", None), "value", "?")
-                    self.trace.record(
-                        self.sim.now, "decode", node_id,
-                        src=tx.src,
-                        frame_kind=kind,
-                        dst=getattr(tx.frame, "dst", None),
-                        duration_us=getattr(tx.frame, "duration_us", 0),
-                    )
+                    # Decodes are the hottest traced event, so the
+                    # payload carries only what reception semantics
+                    # need; header provenance (seq/attempt/assigned
+                    # backoff) lives on the matching ``tx_start``.
+                    frame = tx.frame
+                    try:  # direct access: frames are Frame in real runs
+                        self.trace.record(
+                            self.sim.now, "decode", node_id,
+                            src=tx.src,
+                            # What the frame *claims* as its source —
+                            # equals ``src`` except under address
+                            # spoofing, and is what the listener's MAC
+                            # reacts to.
+                            frame_src=frame.src,
+                            frame_kind=frame.kind.value,
+                            dst=frame.dst,
+                            duration_us=frame.duration_us,
+                        )
+                    except AttributeError:  # duck-typed test stand-ins
+                        self.trace.record(
+                            self.sim.now, "decode", node_id,
+                            src=tx.src,
+                            frame_src=getattr(frame, "src", tx.src),
+                            frame_kind=getattr(getattr(frame, "kind", None),
+                                               "value", "?"),
+                            dst=getattr(frame, "dst", None),
+                            duration_us=getattr(frame, "duration_us", 0),
+                        )
                 state.listener.on_frame(tx.frame)
             else:
                 sensed = link.sense > 1.0 - eps or self.rng.random() < link.sense

@@ -2,23 +2,66 @@
 
 A :class:`TraceLog` is an append-only record of timestamped events.
 The medium records every transmission, decode and corruption into an
-attached log (see :attr:`repro.phy.medium.Medium.trace`); the
-conformance checker (:mod:`repro.validation`) replays the log against
-IEEE 802.11 sequencing rules, and tests use it to assert exact
-protocol behaviour without poking at internals.
+attached log (see :attr:`repro.phy.medium.Medium.trace`), and the MACs
+record their internal decisions into the same log; the conformance
+checker (:mod:`repro.validation`) replays the log against IEEE 802.11
+sequencing rules, and tests use it to assert exact protocol behaviour
+without poking at internals.
 
-Tracing is off by default and adds no overhead when disabled.
+Recorded event kinds
+--------------------
+Medium events (the channel's ground truth):
+
+``tx_start``
+    A frame went on the air (frame kind, dst, end time, NAV duration,
+    seq/attempt/assigned-backoff header fields).
+``decode`` / ``corrupt``
+    A listener decoded a frame / sensed one it could not decode.
+    Decodes carry both the true transmitter (``src``) and the address
+    the frame claims (``frame_src``), which differ under spoofing;
+    header provenance (seq, attempt, assigned backoff) is on the
+    matching ``tx_start`` to keep this hot event small.
+``fault_drop`` / ``jam_start`` / ``jam_end``
+    Fault-injection activity (see :mod:`repro.faults`).
+
+MAC events (one node's protocol decisions):
+
+``backoff_start`` / ``backoff_commit``
+    A countdown began (nominal vs. policy-effective slots, backoff
+    stage, destination, the node's slot length, whether the node runs
+    the modified protocol) / reached zero and committed to transmit.
+``defer`` / ``ifs``
+    The interframe space chosen at a busy->idle edge / consumed by the
+    backoff timer — EIFS after a reception error, DIFS otherwise.
+    ``ifs`` records unconditionally; ``defer`` records only when
+    informative (EIFS debt pending, or a non-DIFS choice), because
+    idle edges are the most frequent MAC event and an uneventful DIFS
+    deference carries no checkable signal.
+``assignment``
+    A CORRECT sender stored a receiver-assigned backoff (which CTS or
+    ACK carried it, the value carried, the value stored after any
+    audit correction).
+``mac_state``
+    Sender state-machine transition (``frm`` -> ``to``).
+``mac_crash`` / ``mac_restart``
+    Fault-injected crash/restart of the MAC.
+
+Tracing is off by default and adds no overhead when disabled: every
+producer guards on ``trace is not None`` and records nothing else.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 
-@dataclass(frozen=True)
-class TraceEvent:
+class TraceEvent(NamedTuple):
     """One recorded event.
+
+    A NamedTuple rather than a dataclass: ``record`` sits on the hot
+    path of every traced transmission/decode, and tuple construction
+    is severalfold cheaper than a frozen dataclass's
+    ``object.__setattr__`` per field.
 
     Attributes
     ----------
@@ -37,7 +80,7 @@ class TraceEvent:
     time: int
     kind: str
     node: int
-    data: Dict[str, object] = field(default_factory=dict)
+    data: Dict[str, object]
 
 
 class TraceLog:
@@ -47,9 +90,8 @@ class TraceLog:
         self.events: List[TraceEvent] = []
 
     def record(self, time: int, kind: str, node: int, **data: object) -> None:
-        """Append one event."""
-        self.events.append(TraceEvent(time=time, kind=kind, node=node,
-                                      data=dict(data)))
+        """Append one event (``data`` is captured, not copied)."""
+        self.events.append(TraceEvent(time, kind, node, data))
 
     def filter(
         self,
@@ -63,6 +105,13 @@ class TraceLog:
             if node is not None and event.node != node:
                 continue
             yield event
+
+    def counts(self) -> Dict[str, int]:
+        """Events per kind (observability / report tables)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,9 +1,31 @@
 """Protocol-conformance validation over recorded traces."""
 
 from repro.validation.checker import (
+    RULE_NAMES,
     ConformanceReport,
+    ConformanceStream,
     ProtocolChecker,
     Violation,
 )
+from repro.validation.replay import (
+    FAULT_PROFILES,
+    SCENARIOS,
+    CheckScenario,
+    ReplayOutcome,
+    replay_config,
+    run_matrix,
+)
 
-__all__ = ["ConformanceReport", "ProtocolChecker", "Violation"]
+__all__ = [
+    "RULE_NAMES",
+    "ConformanceReport",
+    "ConformanceStream",
+    "ProtocolChecker",
+    "Violation",
+    "FAULT_PROFILES",
+    "SCENARIOS",
+    "CheckScenario",
+    "ReplayOutcome",
+    "replay_config",
+    "run_matrix",
+]

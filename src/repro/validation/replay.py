@@ -1,0 +1,254 @@
+"""Conformance replay: run registered scenarios traced, then check.
+
+The replay layer turns the streaming checker into an end-to-end
+regression net: a registry of small named scenarios (both protocols,
+both access modes, interferers, random placement, a cheater) is run
+with a :class:`~repro.sim.trace.TraceLog` attached, and the complete
+trace is replayed through :class:`~repro.validation.ProtocolChecker`.
+Every registered scenario must replay with **zero** violations — the
+rules encode 802.11 sequencing invariants that hold for honest *and*
+policy-cheating senders alike (cheating shrinks the effective
+countdown the MAC itself reports, it never breaks SIFS/NAV/EIFS
+sequencing), and for faulted runs (losses, jamming, crashes, drift)
+too.
+
+``python -m repro check`` is the CLI face (see :mod:`repro.__main__`);
+CI sweeps the scenario x fault-profile matrix on every push.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.faults import parse_profile
+from repro.net.topology import circle_topology, random_topology
+from repro.sim.trace import TraceLog
+from repro.validation.checker import ConformanceReport, ProtocolChecker
+
+#: Violations carried per outcome (full counts survive in ``by_rule``).
+MAX_CARRIED_VIOLATIONS = 20
+
+
+@dataclass(frozen=True)
+class CheckScenario:
+    """One registered replay scenario.
+
+    ``build`` maps (duration_us, seed) to a runnable config;
+    ``honest`` records whether every sender conforms (a cheater
+    scenario must *still* replay clean — see the module docstring).
+    """
+
+    name: str
+    description: str
+    build: Callable[[int, int], ScenarioConfig]
+    honest: bool = True
+
+
+def _build_dcf_circle(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4), protocol=PROTOCOL_80211,
+        duration_us=duration_us, seed=seed,
+    )
+
+
+def _build_dcf_basic(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(3), protocol=PROTOCOL_80211,
+        duration_us=duration_us, seed=seed, use_rts_cts=False,
+    )
+
+
+def _build_correct_circle(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(8), protocol=PROTOCOL_CORRECT,
+        duration_us=duration_us, seed=seed,
+    )
+
+
+def _build_correct_small(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(2), protocol=PROTOCOL_CORRECT,
+        duration_us=duration_us, seed=seed,
+    )
+
+
+def _build_correct_basic(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4), protocol=PROTOCOL_CORRECT,
+        duration_us=duration_us, seed=seed, use_rts_cts=False,
+    )
+
+
+def _build_correct_interferers(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4, with_interferers=True),
+        protocol=PROTOCOL_CORRECT, duration_us=duration_us, seed=seed,
+    )
+
+
+def _build_correct_random(duration_us: int, seed: int) -> ScenarioConfig:
+    topo = random_topology(random.Random(seed), n_nodes=10, n_misbehaving=0)
+    return ScenarioConfig(
+        topology=topo, protocol=PROTOCOL_CORRECT,
+        duration_us=duration_us, seed=seed,
+    )
+
+
+def _build_correct_cheater(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4, misbehaving=(3,), pm_percent=50.0),
+        protocol=PROTOCOL_CORRECT, duration_us=duration_us, seed=seed,
+    )
+
+
+def _build_dcf_cheater(duration_us: int, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4, misbehaving=(3,), pm_percent=80.0),
+        protocol=PROTOCOL_80211, duration_us=duration_us, seed=seed,
+    )
+
+
+#: Every named replay scenario, in report order.
+SCENARIOS: Dict[str, CheckScenario] = {
+    s.name: s for s in (
+        CheckScenario(
+            "dcf-circle", "802.11 baseline, 4 senders, RTS/CTS",
+            _build_dcf_circle,
+        ),
+        CheckScenario(
+            "dcf-basic", "802.11 baseline, 3 senders, basic access",
+            _build_dcf_basic,
+        ),
+        CheckScenario(
+            "dcf-cheat80", "802.11 with one PM=80% cheater",
+            _build_dcf_cheater, honest=False,
+        ),
+        CheckScenario(
+            "correct-small", "CORRECT protocol, 2 senders",
+            _build_correct_small,
+        ),
+        CheckScenario(
+            "correct-circle", "CORRECT protocol, fig-3 circle, 8 senders",
+            _build_correct_circle,
+        ),
+        CheckScenario(
+            "correct-basic", "CORRECT protocol, 4 senders, basic access",
+            _build_correct_basic,
+        ),
+        CheckScenario(
+            "correct-interferers", "CORRECT, 4 senders + TWO-FLOW interferers",
+            _build_correct_interferers,
+        ),
+        CheckScenario(
+            "correct-random", "CORRECT, 10-node random topology",
+            _build_correct_random,
+        ),
+        CheckScenario(
+            "correct-cheat50", "CORRECT with one PM=50% cheater",
+            _build_correct_cheater, honest=False,
+        ),
+    )
+}
+
+#: Fault profiles the CI matrix crosses with the scenarios.  Node ids
+#: 1 and 2 are senders in every registered topology; crash/restart
+#: times sit inside the sub-second quick horizon.
+FAULT_PROFILES: Dict[str, Optional[str]] = {
+    "none": None,
+    "ack-loss": "ack-loss=0.25@3",
+    "cts-loss": "cts-loss=0.2",
+    "corrupt": "corrupt=0.15",
+    "jam": "jam=10:3000",
+    "crash": "crash=1@0.1-0.3",
+    "drift": "drift=2:30000",
+}
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of one (scenario, fault profile) replay — picklable."""
+
+    scenario: str
+    profile: str
+    ok: bool
+    transmissions: int = 0
+    responses_checked: int = 0
+    trace_events: int = 0
+    by_rule: Dict[str, int] = field(default_factory=dict)
+    #: (rule, time, node, detail) of the first violations, capped.
+    violations: List[Tuple[str, int, int, str]] = field(default_factory=list)
+    #: Non-None when the run itself crashed instead of finishing.
+    error: Optional[str] = None
+
+
+def replay_config(
+    config: ScenarioConfig, checker: Optional[ProtocolChecker] = None
+) -> Tuple[ConformanceReport, TraceLog]:
+    """Run one scenario with tracing attached and check the trace."""
+    trace = TraceLog()
+    sim, nodes, _collector = build_scenario(config, trace=trace)
+    for node in nodes:
+        node.start()
+    sim.run(until=config.duration_us)
+    if checker is None:
+        checker = ProtocolChecker()
+    return checker.check(trace), trace
+
+
+def _replay_task(task: Tuple[str, str, int, int]) -> ReplayOutcome:
+    """Worker entry point (module-level so it pickles)."""
+    scenario_name, profile_name, duration_us, seed = task
+    outcome = ReplayOutcome(scenario=scenario_name, profile=profile_name,
+                            ok=False)
+    try:
+        scenario = SCENARIOS[scenario_name]
+        config = scenario.build(duration_us, seed)
+        spec = FAULT_PROFILES[profile_name]
+        if spec is not None:
+            config = replace(config, faults=parse_profile(spec))
+        report, trace = replay_config(config)
+    except Exception as exc:  # pragma: no cover - surfaced in the table
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+    outcome.ok = report.ok
+    outcome.transmissions = report.transmissions
+    outcome.responses_checked = report.responses_checked
+    outcome.trace_events = len(trace)
+    outcome.by_rule = report.by_rule()
+    outcome.violations = [
+        (v.rule, v.time, v.node, v.detail)
+        for v in report.violations[:MAX_CARRIED_VIOLATIONS]
+    ]
+    return outcome
+
+
+def run_matrix(
+    scenario_names: Sequence[str],
+    profile_names: Sequence[str],
+    duration_us: int,
+    seed: int = 1,
+    workers: int = 1,
+) -> List[ReplayOutcome]:
+    """Replay the scenario x profile matrix; one outcome per cell.
+
+    ``workers > 1`` fans cells out over a process pool (each cell is a
+    full simulation); ``workers=1`` runs inline, which is what tests
+    want for determinism under coverage tools.
+    """
+    tasks = [
+        (s, p, duration_us, seed)
+        for s in scenario_names for p in profile_names
+    ]
+    if workers <= 1 or len(tasks) <= 1:
+        return [_replay_task(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(_replay_task, tasks))

@@ -1,0 +1,523 @@
+"""Per-rule fixtures for the streaming conformance checker.
+
+Every rule gets a conforming and a minimally-violating hand-built
+trace; the three historical checker bugs (whole-trace access-mode
+inference, NAV flagging SIFS responses, turnaround horizon overwrite)
+each get a regression fixture that failed before the fix; and the
+replay layer plus ``python -m repro check`` are exercised end to end.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backoff_function import retry_backoff
+from repro.experiments.scenarios import ScenarioConfig
+from repro.net.topology import circle_topology
+from repro.phy.constants import ACK_SIZE_BYTES, PhyTimings
+from repro.sim.trace import TraceLog
+from repro.validation import ProtocolChecker, replay_config, run_matrix
+from repro.validation.checker import RULE_NAMES
+
+T = PhyTimings()
+SIFS = T.sifs_us
+DIFS = T.difs_us
+EIFS = T.eifs_us
+ACK_AIR = T.frame_airtime_us(ACK_SIZE_BYTES)
+
+
+def check(log: TraceLog):
+    return ProtocolChecker().check(log)
+
+
+# ----------------------------------------------------------------------
+# half-duplex / min-turnaround (incl. the horizon-overwrite bugfix)
+# ----------------------------------------------------------------------
+class TestTransmissionSpacing:
+    def test_clean_spacing_passes(self):
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(100 + SIFS, "tx_start", 1, frame_kind="rts", dst=2,
+                   end=300, duration_us=0)
+        assert check(log).ok
+
+    def test_overlap_flags_half_duplex(self):
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(50, "tx_start", 1, frame_kind="rts", dst=2, end=200,
+                   duration_us=0)
+        assert check(log).by_rule().get("half-duplex") == 1
+
+    def test_short_gap_flags_turnaround(self):
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(100 + SIFS - 1, "tx_start", 1, frame_kind="rts", dst=2,
+                   end=300, duration_us=0)
+        assert check(log).by_rule().get("min-turnaround") == 1
+
+    def test_turnaround_not_masked_by_shorter_later_tx(self):
+        """Regression: the turnaround horizon must be the running max
+        of transmission ends.  The old checker overwrote it with each
+        frame's end, so a short overlapping frame (itself a
+        half-duplex violation) reset the horizon and hid the
+        turnaround violation of the next frame."""
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="data", dst=2, end=500,
+                   duration_us=0)
+        # Shorter frame inside the first: half-duplex violation, and
+        # its early end (100) must not shrink the horizon (500).
+        log.record(50, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(504, "tx_start", 1, frame_kind="rts", dst=2, end=700,
+                   duration_us=0)
+        by_rule = check(log).by_rule()
+        assert by_rule.get("half-duplex") == 1
+        assert by_rule.get("min-turnaround") == 1
+
+
+# ----------------------------------------------------------------------
+# Response rules (incl. the per-flow access-mode bugfix)
+# ----------------------------------------------------------------------
+def _four_way(log: TraceLog, src: int, dst: int, t0: int) -> int:
+    """Append one conforming RTS/CTS/DATA/ACK exchange; returns end."""
+    log.record(t0, "tx_start", src, frame_kind="rts", dst=dst,
+               end=t0 + 100, duration_us=0)
+    log.record(t0 + 100, "decode", dst, src=src, frame_src=src,
+               frame_kind="rts", dst=dst, duration_us=0)
+    cts = t0 + 100 + SIFS
+    log.record(cts, "tx_start", dst, frame_kind="cts", dst=src,
+               end=cts + 40, duration_us=0)
+    log.record(cts + 40, "decode", src, src=dst, frame_src=dst,
+               frame_kind="cts", dst=src, duration_us=0)
+    data = cts + 40 + SIFS
+    log.record(data, "tx_start", src, frame_kind="data", dst=dst,
+               end=data + 200, duration_us=0)
+    log.record(data + 200, "decode", dst, src=src, frame_src=src,
+               frame_kind="data", dst=dst, duration_us=0)
+    ack = data + 200 + SIFS
+    log.record(ack, "tx_start", dst, frame_kind="ack", dst=src,
+               end=ack + 30, duration_us=0)
+    log.record(ack + 30, "decode", src, src=dst, frame_src=dst,
+               frame_kind="ack", dst=src, duration_us=0)
+    return ack + 30
+
+
+class TestResponseRules:
+    def test_conforming_four_way_passes(self):
+        log = TraceLog()
+        _four_way(log, 1, 2, 0)
+        assert check(log).ok
+
+    def test_orphan_cts_flagged(self):
+        log = TraceLog()
+        log.record(500, "tx_start", 2, frame_kind="cts", dst=1, end=540,
+                   duration_us=0)
+        assert check(log).by_rule().get("cts-follows-rts") == 1
+
+    def test_orphan_ack_flagged(self):
+        log = TraceLog()
+        log.record(500, "tx_start", 2, frame_kind="ack", dst=1, end=530,
+                   duration_us=0)
+        assert check(log).by_rule().get("ack-follows-data") == 1
+
+    def test_mislaid_data_on_rts_flow_flagged(self):
+        log = TraceLog()
+        # The 1->2 flow uses RTS/CTS, so a DATA not SIFS-after-CTS is
+        # a sequencing violation.
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(1000, "tx_start", 1, frame_kind="data", dst=2,
+                   end=1200, duration_us=0)
+        assert check(log).by_rule().get("data-follows-cts") == 1
+
+    def test_mixed_access_modes_no_false_positive(self):
+        """Regression: access mode is inferred per (src, dst) flow.
+        The old checker toggled DATA checking on whether *any* RTS
+        appeared in the whole trace, so one RTS/CTS flow made every
+        basic-access DATA in the cell a false 'data-follows-cts'."""
+        log = TraceLog()
+        end = _four_way(log, 3, 2, 0)           # RTS/CTS flow 3->2
+        t0 = end + 1000
+        # Basic-access flow 1->2: DATA straight after backoff, ACKed.
+        log.record(t0, "tx_start", 1, frame_kind="data", dst=2,
+                   end=t0 + 200, duration_us=0)
+        log.record(t0 + 200, "decode", 2, src=1, frame_src=1,
+                   frame_kind="data", dst=2, duration_us=0)
+        log.record(t0 + 200 + SIFS, "tx_start", 2, frame_kind="ack",
+                   dst=1, end=t0 + 230 + SIFS, duration_us=0)
+        report = check(log)
+        assert report.ok, report.violations
+
+    def test_spoofed_source_matches_claimed_address(self):
+        # Node 9 transmits a DATA claiming src=1; the responder ACKs
+        # toward 1 — the checker must match on the claimed address.
+        log = TraceLog()
+        log.record(100, "decode", 2, src=9, frame_src=1,
+                   frame_kind="data", dst=2, duration_us=0)
+        log.record(100 + SIFS, "tx_start", 2, frame_kind="ack", dst=1,
+                   end=140, duration_us=0)
+        assert check(log).ok
+
+    def test_duplicate_response_flagged(self):
+        log = TraceLog()
+        log.record(100, "decode", 2, src=1, frame_src=1,
+                   frame_kind="data", dst=2, duration_us=0)
+        log.record(100 + SIFS, "tx_start", 2, frame_kind="ack", dst=1,
+                   end=100 + SIFS + 30, duration_us=0)
+        # Second ACK answering the same decode, properly spaced so no
+        # other rule fires.
+        again = 100 + 2 * SIFS + 30
+        log.record(again, "tx_start", 2, frame_kind="ack", dst=1,
+                   end=again + 30, duration_us=0)
+        by_rule = check(log).by_rule()
+        assert by_rule == {"duplicate-response": 1}
+
+    def test_rearmed_trigger_is_not_duplicate(self):
+        # A *fresh* decode re-licenses a response (basic-access
+        # retransmission of a lost-ACK packet).
+        log = TraceLog()
+        for t0 in (100, 1000):
+            log.record(t0, "decode", 2, src=1, frame_src=1,
+                       frame_kind="data", dst=2, duration_us=0)
+            log.record(t0 + SIFS, "tx_start", 2, frame_kind="ack",
+                       dst=1, end=t0 + SIFS + 30, duration_us=0)
+        assert check(log).ok
+
+
+# ----------------------------------------------------------------------
+# NAV (incl. the SIFS-response exemption bugfix)
+# ----------------------------------------------------------------------
+class TestNavRule:
+    def test_backoff_tx_inside_nav_flagged(self):
+        log = TraceLog()
+        log.record(100, "decode", 3, src=0, frame_src=0,
+                   frame_kind="cts", dst=1, duration_us=1000)
+        log.record(600, "tx_start", 3, frame_kind="rts", dst=0, end=900,
+                   duration_us=0)
+        assert check(log).by_rule().get("nav-respected") == 1
+
+    def test_basic_data_inside_nav_flagged(self):
+        log = TraceLog()
+        log.record(100, "decode", 1, src=0, frame_src=0,
+                   frame_kind="cts", dst=3, duration_us=1000)
+        log.record(500, "tx_start", 1, frame_kind="data", dst=2,
+                   end=700, duration_us=0)
+        assert check(log).by_rule().get("nav-respected") == 1
+
+    def test_hidden_terminal_cts_response_exempt(self):
+        """Regression: a responder's CTS is SIFS-scheduled and exempt
+        from virtual carrier sense.  The old checker flagged the
+        classic hidden-terminal shape — answer an RTS while holding a
+        NAV set by an overheard frame — as a violation."""
+        log = TraceLog()
+        log.record(100, "decode", 2, src=0, frame_src=0,
+                   frame_kind="cts", dst=1, duration_us=1000)
+        log.record(300, "decode", 2, src=5, frame_src=5,
+                   frame_kind="rts", dst=2, duration_us=0)
+        log.record(300 + SIFS, "tx_start", 2, frame_kind="cts", dst=5,
+                   end=350, duration_us=0)
+        report = check(log)
+        assert report.ok, report.violations
+
+    def test_ack_response_inside_nav_exempt(self):
+        log = TraceLog()
+        log.record(100, "decode", 2, src=0, frame_src=0,
+                   frame_kind="rts", dst=9, duration_us=2000)
+        log.record(400, "decode", 2, src=1, frame_src=1,
+                   frame_kind="data", dst=2, duration_us=0)
+        log.record(400 + SIFS, "tx_start", 2, frame_kind="ack", dst=1,
+                   end=440, duration_us=0)
+        assert check(log).ok
+
+    def test_data_response_inside_nav_exempt(self):
+        log = TraceLog()
+        log.record(0, "tx_start", 1, frame_kind="rts", dst=2, end=100,
+                   duration_us=0)
+        log.record(150, "decode", 1, src=0, frame_src=0,
+                   frame_kind="cts", dst=9, duration_us=2000)
+        log.record(300, "decode", 1, src=2, frame_src=2,
+                   frame_kind="cts", dst=1, duration_us=0)
+        log.record(300 + SIFS, "tx_start", 1, frame_kind="data", dst=2,
+                   end=500, duration_us=0)
+        report = check(log)
+        assert report.ok, report.violations
+
+
+# ----------------------------------------------------------------------
+# eifs-after-error
+# ----------------------------------------------------------------------
+class TestEifsRule:
+    def test_eifs_after_corrupt_passes(self):
+        log = TraceLog()
+        log.record(100, "corrupt", 1, src=2)
+        log.record(150, "defer", 1, ifs_us=EIFS)
+        log.record(200, "ifs", 1, ifs_us=EIFS)
+        # The timer consumed the EIFS debt; later edges use DIFS.
+        log.record(400, "defer", 1, ifs_us=DIFS)
+        assert check(log).ok
+
+    def test_difs_after_corrupt_flagged(self):
+        log = TraceLog()
+        log.record(100, "corrupt", 1, src=2)
+        log.record(150, "defer", 1, ifs_us=DIFS)
+        assert check(log).by_rule().get("eifs-after-error") == 1
+
+    def test_eifs_without_error_flagged(self):
+        log = TraceLog()
+        log.record(150, "ifs", 1, ifs_us=EIFS)
+        assert check(log).by_rule().get("eifs-after-error") == 1
+
+    def test_decode_clears_the_eifs_debt(self):
+        log = TraceLog()
+        log.record(100, "corrupt", 1, src=2)
+        log.record(200, "decode", 1, src=2, frame_src=2,
+                   frame_kind="cts", dst=9, duration_us=0)
+        log.record(300, "defer", 1, ifs_us=DIFS)
+        assert check(log).ok
+
+    def test_defer_peeks_but_does_not_consume(self):
+        log = TraceLog()
+        log.record(100, "corrupt", 1, src=2)
+        log.record(150, "defer", 1, ifs_us=EIFS)
+        log.record(300, "defer", 1, ifs_us=EIFS)
+        log.record(350, "ifs", 1, ifs_us=EIFS)
+        log.record(500, "ifs", 1, ifs_us=DIFS)
+        assert check(log).ok
+
+    def test_crash_clears_the_eifs_debt(self):
+        log = TraceLog()
+        log.record(100, "corrupt", 1, src=2)
+        log.record(200, "mac_crash", 1)
+        log.record(250, "corrupt", 1, src=3)  # crashed: MAC ignores it
+        log.record(300, "mac_restart", 1)
+        log.record(400, "defer", 1, ifs_us=DIFS)
+        assert check(log).ok
+
+
+# ----------------------------------------------------------------------
+# backoff-conservation
+# ----------------------------------------------------------------------
+class TestBackoffConservation:
+    def _start(self, log, t, slots, slot_us=T.slot_us, **extra):
+        log.record(t, "backoff_start", 1, nominal=slots, effective=slots,
+                   dst=0, stage=1, slot_us=slot_us, modified=False, **extra)
+
+    def test_exact_minimum_passes(self):
+        log = TraceLog()
+        self._start(log, 0, 5)
+        log.record(DIFS + 5 * T.slot_us, "backoff_commit", 1, slots=5)
+        assert check(log).ok
+
+    def test_early_commit_flagged(self):
+        log = TraceLog()
+        self._start(log, 0, 5)
+        log.record(DIFS + 5 * T.slot_us - 1, "backoff_commit", 1, slots=5)
+        assert check(log).by_rule().get("backoff-conservation") == 1
+
+    def test_drifted_slot_uses_the_node_clock(self):
+        # A +25% slot clock stretches both the DIFS and the countdown;
+        # the checker must judge against the node's own slot length.
+        slot = T.slot_us + 5
+        need = (SIFS + 2 * slot) + 5 * slot
+        log = TraceLog()
+        self._start(log, 0, 5, slot_us=slot)
+        log.record(need, "backoff_commit", 1, slots=5)
+        assert check(log).ok
+        log2 = TraceLog()
+        self._start(log2, 0, 5, slot_us=slot)
+        log2.record(need - 1, "backoff_commit", 1, slots=5)
+        assert check(log2).by_rule().get("backoff-conservation") == 1
+
+    def test_crash_cancels_the_pending_countdown(self):
+        log = TraceLog()
+        self._start(log, 0, 5)
+        log.record(60, "mac_crash", 1)
+        assert check(log).ok
+
+
+# ----------------------------------------------------------------------
+# assignment-echo
+# ----------------------------------------------------------------------
+def _echo_start(log, t, nominal, stage=1, node=1, dst=0):
+    log.record(t, "backoff_start", node, nominal=nominal, effective=nominal,
+               dst=dst, stage=stage, slot_us=T.slot_us, modified=True)
+    log.record(t + DIFS + nominal * T.slot_us, "backoff_commit", node,
+               slots=nominal)
+
+
+class TestAssignmentEcho:
+    def test_echoed_assignment_passes(self):
+        log = TraceLog()
+        log.record(100, "assignment", 1, src=0, value=7, carried=7,
+                   frame_kind="cts")
+        _echo_start(log, 200, 7)
+        assert check(log).ok
+
+    def test_ignored_assignment_flagged(self):
+        log = TraceLog()
+        log.record(100, "assignment", 1, src=0, value=7, carried=7,
+                   frame_kind="ack")
+        _echo_start(log, 200, 9)
+        assert check(log).by_rule().get("assignment-echo") == 1
+
+    def test_deterministic_retry_passes(self):
+        stage1 = 13
+        expected = retry_backoff(stage1, 1, 2, T.cw_min, T.cw_max)
+        log = TraceLog()
+        _echo_start(log, 0, stage1, stage=1)
+        _echo_start(log, 10_000, expected, stage=2)
+        assert check(log).ok
+
+    def test_wrong_retry_flagged(self):
+        stage1 = 13
+        expected = retry_backoff(stage1, 1, 2, T.cw_min, T.cw_max)
+        log = TraceLog()
+        _echo_start(log, 0, stage1, stage=1)
+        _echo_start(log, 10_000, expected + 1, stage=2)
+        assert check(log).by_rule().get("assignment-echo") == 1
+
+    def test_first_contact_unconstrained(self):
+        # No assignment yet: any stage-1 nominal is legal.
+        log = TraceLog()
+        _echo_start(log, 0, 23)
+        assert check(log).ok
+
+    def test_unmodified_protocol_unconstrained(self):
+        log = TraceLog()
+        log.record(0, "backoff_start", 1, nominal=9, effective=9, dst=0,
+                   stage=2, slot_us=T.slot_us, modified=False)
+        log.record(DIFS + 9 * T.slot_us, "backoff_commit", 1, slots=9)
+        assert check(log).ok
+
+
+# ----------------------------------------------------------------------
+# Streaming engine semantics
+# ----------------------------------------------------------------------
+class TestStreamingEngine:
+    def test_incremental_feed_equals_one_shot(self):
+        log = TraceLog()
+        log.record(100, "corrupt", 1, src=2)
+        log.record(150, "defer", 1, ifs_us=DIFS)        # violation
+        log.record(500, "tx_start", 2, frame_kind="cts", dst=1, end=540,
+                   duration_us=0)                        # violation
+        checker = ProtocolChecker()
+        stream = checker.stream()
+        interim = []
+        for event in log:
+            stream.feed(event)
+            interim.append(len(stream.finish().violations))
+        assert interim == [0, 1, 2]
+        assert stream.finish().violations == checker.check(log).violations
+
+    def test_rule_names_cover_all_emitted_rules(self):
+        assert set(RULE_NAMES) >= {
+            "half-duplex", "min-turnaround", "cts-follows-rts",
+            "ack-follows-data", "data-follows-cts", "duplicate-response",
+            "nav-respected", "eifs-after-error", "backoff-conservation",
+            "assignment-echo",
+        }
+
+
+# ----------------------------------------------------------------------
+# End-to-end replay
+# ----------------------------------------------------------------------
+def _circle_config(senders, duration_us, seed, protocol="correct", **kw):
+    return ScenarioConfig(
+        topology=circle_topology(senders), protocol=protocol,
+        duration_us=duration_us, seed=seed, **kw,
+    )
+
+
+class TestReplayEndToEnd:
+    def test_replay_emits_mac_events_and_is_clean(self):
+        report, trace = replay_config(_circle_config(3, 250_000, seed=5))
+        assert report.ok, report.violations
+        counts = trace.counts()
+        for kind in ("tx_start", "decode", "backoff_start",
+                     "backoff_commit", "ifs", "mac_state", "assignment"):
+            assert counts.get(kind, 0) > 0, (kind, counts)
+
+    def test_faulted_replay_exercises_new_rules(self):
+        from repro.faults import parse_profile
+
+        config = _circle_config(
+            3, 250_000, seed=5,
+            faults=parse_profile("corrupt=0.2,crash=1@0.05-0.1"),
+        )
+        report, trace = replay_config(config)
+        assert report.ok, report.violations
+        counts = trace.counts()
+        assert counts.get("corrupt", 0) > 0
+        assert counts.get("mac_crash", 0) == 1
+        assert counts.get("mac_restart", 0) == 1
+
+    def test_run_matrix_inline(self):
+        outs = run_matrix(["correct-small"], ["none", "drift"], 150_000,
+                          seed=3, workers=1)
+        assert [o.ok for o in outs] == [True, True]
+        assert all(o.error is None for o in outs)
+        assert outs[0].trace_events > 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           senders=st.integers(min_value=2, max_value=4))
+    def test_honest_circle_scenarios_replay_clean(self, seed, senders):
+        """Property: any honest fig-3-topology run, either protocol,
+        replays through the full rule set with zero violations."""
+        protocol = "correct" if seed % 2 else "802.11"
+        report, _ = replay_config(
+            _circle_config(senders, 120_000, seed=seed, protocol=protocol)
+        )
+        assert report.ok, (protocol, seed, senders, report.violations[:5])
+
+
+class TestCheckCli:
+    def test_list_exits_zero(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "correct-circle" in out and "fault profiles:" in out
+
+    def test_unknown_scenario_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_fault_profile_exits_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "correct-small", "--faults", "gremlins"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_clean_run_exits_zero(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["check", "correct-small", "--seconds", "0.1",
+                     "--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all 1 cell(s) conformant" in out
+
+    def test_violations_exit_nonzero_and_tabulate(self, capsys, monkeypatch):
+        import repro.validation as validation
+        from repro.__main__ import main
+        from repro.validation.replay import ReplayOutcome
+
+        def fake_matrix(scenarios, profiles, duration_us, seed=1, workers=1):
+            return [ReplayOutcome(
+                scenario="correct-small", profile="none", ok=False,
+                transmissions=10, responses_checked=4, trace_events=50,
+                by_rule={"nav-respected": 2},
+                violations=[("nav-respected", 123, 3, "tx inside NAV")],
+            )]
+
+        monkeypatch.setattr(validation, "run_matrix", fake_matrix)
+        code = main(["check", "correct-small"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "nav-respected" in out and "FAIL" in out
