@@ -91,3 +91,129 @@ def test_saturated_cell_simulation_second(benchmark):
 
     result = benchmark(run_scenario, config)
     assert result.collector.deliveries
+
+
+# ----------------------------------------------------------------------
+# Events/sec trajectory (BENCH_engine.json)
+# ----------------------------------------------------------------------
+#
+# Every run of this module appends the kernel's aggregate events/sec on
+# the fig6/fig7 regeneration workload to ``benchmarks/BENCH_engine.json``
+# so kernel speed is tracked PR over PR (see benchmarks/README.md for
+# the file format and how to re-baseline after an intentional change).
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from datetime import datetime, timezone
+
+from repro.experiments.scenarios import PROTOCOL_80211
+from repro.sim.batch import batchable, run_scenario_batch
+from repro.sim.vecrng import HAVE_NUMPY
+
+TRAJECTORY_PATH = pathlib.Path(__file__).parent / "BENCH_engine.json"
+#: Keep the trajectory bounded; old entries age out.
+TRAJECTORY_CAP = 200
+#: Tolerated events/sec drop vs the committed baseline (CI gate).
+REGRESSION_TOLERANCE = 0.20
+
+
+def _workload_scale():
+    """(scale name, sizes, seeds, duration) of the trajectory workload."""
+    if os.environ.get("REPRO_QUICK"):
+        return "quick", (1, 8), (1, 2), 200_000
+    return "bench", (1, 4, 16, 64), (1, 2), 400_000
+
+
+def _workload_configs(sizes, seeds, duration_us):
+    """The fig6/fig7 grid: both scenario families, both protocols."""
+    configs = []
+    for with_interferers in (False, True):
+        for protocol in (PROTOCOL_80211, PROTOCOL_CORRECT):
+            for n in sizes:
+                topo = circle_topology(n, with_interferers=with_interferers)
+                for seed in seeds:
+                    configs.append(ScenarioConfig(
+                        topology=topo, protocol=protocol,
+                        duration_us=duration_us, seed=seed,
+                    ))
+    return configs
+
+
+def _signature(results):
+    """Digest of the figure values each run contributes to fig6/fig7."""
+    sig = [(r.events_processed, round(r.avg_throughput_bps, 6),
+            round(r.fairness_index, 9)) for r in results]
+    return hashlib.sha256(json.dumps(sig).encode()).hexdigest()[:16]
+
+
+def _load_trajectory():
+    if TRAJECTORY_PATH.exists():
+        return json.loads(TRAJECTORY_PATH.read_text())
+    return {"schema": 1,
+            "workload": "fig6/fig7 grid: {ZERO,TWO-FLOW} x {802.11,correct}"
+                        " x network sizes x seeds",
+            "baselines": {}, "trajectory": []}
+
+
+def test_events_per_sec_trajectory():
+    scale, sizes, seeds, duration_us = _workload_scale()
+    configs = _workload_configs(sizes, seeds, duration_us)
+
+    start = time.perf_counter()
+    results = [run_scenario(config) for config in configs]
+    scalar_wall = time.perf_counter() - start
+    events = sum(r.events_processed for r in results)
+    signature = _signature(results)
+
+    record = {
+        "utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale,
+        "runs": len(configs),
+        "events": events,
+        "signature": signature,
+        "scalar": {"wall_s": round(scalar_wall, 3),
+                   "events_per_sec": round(events / scalar_wall)},
+    }
+
+    if HAVE_NUMPY and all(batchable(c) for c in configs):
+        groups = {}
+        for config in configs:
+            key = (config.protocol, config.duration_us,
+                   id(config.topology))
+            groups.setdefault(key, []).append(config)
+        start = time.perf_counter()
+        batched = [r for group in groups.values()
+                   for r in run_scenario_batch(group)]
+        batch_wall = time.perf_counter() - start
+        assert _signature(batched) == signature  # bit-identity, every run
+        record["batch"] = {"wall_s": round(batch_wall, 3),
+                           "events_per_sec": round(events / batch_wall)}
+
+    data = _load_trajectory()
+    baseline = data["baselines"].get(scale)
+    if baseline is None or os.environ.get("REPRO_BENCH_REBASE"):
+        data["baselines"][scale] = record
+        baseline = record
+    data["trajectory"] = (data["trajectory"] + [record])[-TRAJECTORY_CAP:]
+    TRAJECTORY_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+    # Bit-identity versus the committed baseline is enforced on every
+    # run; the events/sec floor only under REPRO_BENCH_GATE (CI) so
+    # noisy developer machines don't flake.
+    assert signature == baseline["signature"], (
+        f"fig6/fig7 values changed: {signature} != baseline "
+        f"{baseline['signature']} — results are no longer bit-identical"
+    )
+    if os.environ.get("REPRO_BENCH_GATE"):
+        floor = baseline["scalar"]["events_per_sec"] * (
+            1.0 - REGRESSION_TOLERANCE
+        )
+        measured = record["scalar"]["events_per_sec"]
+        assert measured >= floor, (
+            f"kernel regression: {measured:,.0f} ev/s is more than "
+            f"{REGRESSION_TOLERANCE:.0%} below the committed baseline "
+            f"{baseline['scalar']['events_per_sec']:,.0f} ev/s"
+        )

@@ -27,10 +27,10 @@ calls :meth:`set_blocked` on the edges.
 from __future__ import annotations
 
 import random
+from math import log
 from typing import Callable, Optional
 
 from repro.sim.engine import EventHandle, Simulator
-from repro.sim.rng import geometric_skip
 
 
 class BackoffTimer:
@@ -163,7 +163,13 @@ class BackoffTimer:
             # changes; park without an event.
             self._handle = None
             return
-        busy_run = geometric_skip(self.rng, p_busy)
+        # Inlined ``geometric_skip`` (hot: once per counted slot under
+        # marginal interference); draws and arithmetic are identical.
+        if p_busy <= 0.0:
+            busy_run = 0
+        else:
+            u = self.rng.random()
+            busy_run = int(log(u) / log(p_busy)) if u > 0.0 else 0
         delay = (busy_run + 1) * self.slot_us
         self._handle = self.sim.schedule(delay, self._sampled_decrement)
 

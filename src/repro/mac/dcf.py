@@ -32,7 +32,7 @@ from repro.phy.constants import PhyTimings, SHORT_RETRY_LIMIT
 from repro.phy.medium import Medium
 from repro.phy.sensing import IdleSlotCounter
 from repro.sim.engine import EventHandle, Simulator
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, binomial
 
 
 @dataclass
@@ -116,11 +116,15 @@ class DcfMac:
         #: Basic-access duplicate detection: sender -> last ACKed seq.
         self._last_acked_seq: Dict[int, int] = {}
         self.rng = rng_registry.stream(f"mac/{node_id}")
+        #: Cached combined marginal busy probability, refreshed on
+        #: every marginal edge; the timer reads this instead of
+        #: re-aggregating the medium's marginal set per segment.
+        self._p_busy = 0.0
         self.timer = BackoffTimer(
             sim,
             self.timings.slot_us,
             rng_registry.stream(f"sense/{node_id}"),
-            lambda: self.medium.marginal_busy_probability(self.node_id),
+            lambda: self._p_busy,
             self._current_ifs,
             self._on_backoff_expired,
         )
@@ -143,6 +147,10 @@ class DcfMac:
         self._pending_eifs = False
         self._seq = 0
         self._crashed = False
+        #: Cached medium-side listener state (strong count, marginal
+        #: set).  Resolved lazily on first use: the MAC is registered
+        #: on the medium only after construction.
+        self._mstate = None
         #: Effective slot count of the countdown currently (or last)
         #: started; recorded by backoff tracing only.
         self._backoff_slots = 0
@@ -218,17 +226,76 @@ class DcfMac:
     # Medium listener interface
     # ------------------------------------------------------------------
     def on_channel_busy(self) -> None:
-        self.idle_counter.set_strong(True, self.sim.now)
-        self._update_blocked()
+        # Fused hot path: this is the most frequent callback in a
+        # saturated cell (one per strongly-sensing listener per
+        # transmission), so the ``IdleSlotCounter.set_strong(True)``
+        # and ``set_blocked(True)`` chains are inlined — semantics are
+        # identical, the per-edge call depth is not.
+        now = self.sim.now
+        ic = self.idle_counter
+        ic._last_now = now
+        if not ic._strong:
+            cursor = ic._cursor
+            if now > cursor:
+                whole = (now - cursor) // ic.slot_us
+                if whole > 0:
+                    p = ic._marginal_p
+                    if p <= 0.0:
+                        ic._slots += whole
+                    elif p < 1.0:
+                        ic._slots += whole - binomial(ic.rng, whole, p)
+            ic._strong = True
+        ic._cursor = now
+        # A strong-busy edge always blocks the timer, whatever the NAV
+        # or responder state says.
+        timer = self.timer
+        if not timer.blocked:
+            timer.blocked = True
+            if timer.active:
+                timer._freeze()
+
+    def on_channel_busy_batch(self, fast) -> None:
+        """Batch-mode :meth:`on_channel_busy`.
+
+        Same fused edge handling, but the catch-up binomial deficit
+        (idle slots accrued since the cursor, sampled at the *old*
+        marginal probability) is appended to ``fast`` for the medium's
+        per-edge vectorized draw instead of being drawn inline.  As in
+        :meth:`on_marginal_change_batch`, only the cumulative ``_slots``
+        update moves; word consumption per stream is unchanged.
+        """
+        now = self.sim.now
+        ic = self.idle_counter
+        ic._last_now = now
+        if not ic._strong:
+            cursor = ic._cursor
+            if now > cursor:
+                whole = (now - cursor) // ic.slot_us
+                if whole > 0:
+                    p = ic._marginal_p
+                    if p <= 0.0:
+                        ic._slots += whole
+                    elif p < 1.0:
+                        if whole <= 32:
+                            fast.append((ic, whole, p))
+                        else:
+                            ic._slots += whole - binomial(ic.rng, whole, p)
+            ic._strong = True
+        ic._cursor = now
+        timer = self.timer
+        if not timer.blocked:
+            timer.blocked = True
+            if timer.active:
+                timer._freeze()
 
     def on_channel_idle(self) -> None:
         # The counter's deference mirrors what a conforming sender's
         # backoff logic will do next: EIFS after a reception error,
-        # DIFS otherwise.
-        ifs = self.timings.eifs_us if self._pending_eifs else self.timings.difs_us
+        # DIFS otherwise.  Fused like :meth:`on_channel_busy`.
+        difs = self.timings.difs_us
+        ifs = self.timings.eifs_us if self._pending_eifs else difs
         trace = self.medium.trace
-        if trace is not None and (self._pending_eifs
-                                  or ifs != self.timings.difs_us):
+        if trace is not None and (self._pending_eifs or ifs != difs):
             # Idle edges are the most frequent MAC event, so only the
             # informative ones are recorded: a plain DIFS deference
             # with no EIFS debt tells the checker nothing.  Either a
@@ -236,13 +303,93 @@ class DcfMac:
             # EIFS without cause is caught here, and clearing the debt
             # too early is caught at the next (always-recorded) "ifs".
             trace.record(self.sim.now, "defer", self.node_id, ifs_us=ifs)
-        self.idle_counter.set_strong(False, self.sim.now, ifs_us=ifs)
-        self._update_blocked()
+        now = self.sim.now
+        ic = self.idle_counter
+        # set_strong(False): while strong no slots accrued, the clock
+        # realigns at the edge and counting resumes an IFS later.
+        ic._last_now = now
+        ic._strong = False
+        ic._cursor = now + ifs
+        blocked = now < self._nav_until or self._responding
+        timer = self.timer
+        if blocked != timer.blocked:
+            timer.set_blocked(blocked)
 
     def on_marginal_change(self) -> None:
-        p = self.medium.marginal_busy_probability(self.node_id)
-        self.idle_counter.set_marginal_probability(p, self.sim.now)
-        self.timer.marginal_changed()
+        state = self._mstate
+        if state is None:
+            state = self._mstate = self.medium._states[self.node_id]
+        product = 1.0
+        for q in state.marginal.values():
+            product *= 1.0 - q
+        p = 1.0 - product
+        self._p_busy = p
+        # Inlined ``set_marginal_probability`` + ``advance``: a product
+        # of values in [0, 1] stays in [0, 1] so the range check cannot
+        # fire, and ``now`` comes off the (monotonic) kernel clock so
+        # the backwards-clock guard cannot fire either.
+        now = self.sim.now
+        ic = self.idle_counter
+        cursor = ic._cursor
+        if not ic._strong:
+            if now > cursor:
+                whole = (now - cursor) // ic.slot_us
+                if whole > 0:
+                    op = ic._marginal_p
+                    if op <= 0.0:
+                        ic._slots += whole
+                    elif op < 1.0:
+                        ic._slots += whole - binomial(ic.rng, whole, op)
+                    ic._cursor = cursor + whole * ic.slot_us
+        elif now > cursor:
+            ic._cursor = now
+        ic._last_now = now
+        ic._marginal_p = p
+        timer = self.timer
+        if timer.active and timer._state == "counting":
+            timer.marginal_changed()
+
+    def on_marginal_change_batch(self, fast) -> None:
+        """Batch-mode :meth:`on_marginal_change`.
+
+        Identical bookkeeping and timer handling, except that small-n
+        binomial deficits are appended to ``fast`` (as ``(counter, n,
+        p)``) so the medium can sample the whole transmission edge in
+        one vectorized pool draw.  Only the deferred ``_slots`` update
+        is reordered — nothing reads the cumulative count before the
+        edge resolves, and per-stream word consumption is unchanged.
+        """
+        state = self._mstate
+        if state is None:
+            state = self._mstate = self.medium._states[self.node_id]
+        product = 1.0
+        for q in state.marginal.values():
+            product *= 1.0 - q
+        p = 1.0 - product
+        self._p_busy = p
+        now = self.sim.now
+        ic = self.idle_counter
+        cursor = ic._cursor
+        if not ic._strong:
+            if now > cursor:
+                whole = (now - cursor) // ic.slot_us
+                if whole > 0:
+                    op = ic._marginal_p
+                    if op <= 0.0:
+                        ic._slots += whole
+                    elif op < 1.0:
+                        if whole <= 32:
+                            fast.append((ic, whole, op))
+                        else:
+                            ic._slots += whole - binomial(ic.rng, whole, op)
+                    ic._cursor = cursor + whole * ic.slot_us
+        elif now > cursor:
+            ic._cursor = now
+        ic._last_now = now
+        ic._marginal_p = p
+        timer = self.timer
+        if timer.active and timer._state == "counting":
+            timer.marginal_changed()
 
     def on_frame_corrupted(self) -> None:
         if self._crashed:

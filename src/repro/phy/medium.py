@@ -78,10 +78,11 @@ class Transmission:
     overlaps: List["Transmission"] = field(default_factory=list)
     #: True when a jamming burst overlapped the airtime (decode fails).
     jammed: bool = False
-    #: Per-listener sensing class, frozen at transmission start so
-    #: that busy-count bookkeeping stays balanced even if node
-    #: positions change mid-flight (mobility support).
-    listener_class: Dict[int, str] = field(default_factory=dict)
+    #: The source's listener partition (see ``Medium._source_view``),
+    #: frozen at transmission start so that busy-count bookkeeping
+    #: stays balanced even if node positions change mid-flight
+    #: (mobility support).  ``(version, notify, deliver)``.
+    view: Optional[tuple] = None
 
 
 @dataclass
@@ -123,6 +124,24 @@ class Medium:
         self._states: Dict[int, _ListenerState] = {}
         self._links: Dict[Tuple[int, int], LinkProbabilities] = {}
         self._active: List[Transmission] = []
+        #: Per-source listener partitions (classification + delivery
+        #: candidates), precomputed once per topology version instead
+        #: of re-classifying every listener on every transmission.
+        self._src_views: Dict[int, tuple] = {}
+        #: Capture probabilities keyed (src, interferer, listener):
+        #: pure geometry, so cacheable until a node moves.
+        self._capture_cache: Dict[Tuple[int, int, int], float] = {}
+        #: Batch fast path (:mod:`repro.sim.batch`): when set to a
+        #: :class:`~repro.sim.vecrng.VectorStreamPool`, marginal-edge
+        #: idle-slot draws are deferred per transmission edge and
+        #: sampled in one vectorized pool operation.  Requires every
+        #: listener to implement ``on_marginal_change_batch`` (the real
+        #: MACs do) and the ``idle/*`` streams to live in this pool.
+        self.marginal_batch_pool = None
+        #: Bumped whenever node geometry changes (register / move); a
+        #: transmission whose frozen view predates the current version
+        #: falls back to live link lookups for delivery.
+        self._links_version = 0
         #: Optional structured event log (repro.sim.trace.TraceLog);
         #: None disables tracing entirely.
         self.trace = None
@@ -147,6 +166,46 @@ class Medium:
         if listener.node_id in self._states:
             raise ValueError(f"node {listener.node_id} already registered")
         self._states[listener.node_id] = _ListenerState(listener, position)
+        self._invalidate_views()
+
+    def _invalidate_views(self) -> None:
+        """Drop geometry-derived caches (new node or node moved)."""
+        self._links_version += 1
+        self._src_views.clear()
+        self._capture_cache.clear()
+
+    def _source_view(self, src: int) -> tuple:
+        """Frozen listener partition for transmissions from ``src``.
+
+        Returns ``(version, notify, deliver)`` where ``notify`` is
+        ``[(state, is_strong, p_sense), ...]`` over the strongly and
+        marginally sensing listeners (the source itself is "strong" —
+        half-duplex deafness) and ``deliver`` is
+        ``[(node_id, state, link), ...]`` over listeners with a
+        non-negligible receive or sense probability.  Both preserve
+        registration order, so callbacks fire exactly as they would
+        from a per-listener classification sweep.
+        """
+        view = self._src_views.get(src)
+        if view is None:
+            eps = LinkProbabilities.EPS
+            notify = []
+            deliver = []
+            for node_id, state in self._states.items():
+                if node_id == src:
+                    notify.append((state, True, 0.0))
+                    continue
+                link = self.link(src, node_id)
+                cls = link.classify()
+                if cls == "strong":
+                    notify.append((state, True, 0.0))
+                elif cls == "marginal":
+                    notify.append((state, False, link.sense))
+                if link.receive > eps or link.sense > eps:
+                    deliver.append((node_id, state, link))
+            view = (self._links_version, notify, deliver)
+            self._src_views[src] = view
+        return view
 
     def link(self, src: int, dst: int) -> LinkProbabilities:
         """Cached link probabilities between two registered nodes."""
@@ -181,6 +240,7 @@ class Medium:
         stale = [key for key in self._links if node_id in key]
         for key in stale:
             del self._links[key]
+        self._invalidate_views()
 
     # ------------------------------------------------------------------
     # Channel-view queries (used by backoff timers / idle counters)
@@ -238,23 +298,34 @@ class Medium:
                     assigned_backoff=getattr(frame, "assigned_backoff", -1),
                 )
         self._notify_start(tx)
-        self.sim.schedule(airtime_us, lambda: self._finish_transmission(tx))
+        self.sim.call_later(airtime_us, lambda: self._finish_transmission(tx))
         return tx
 
     def _notify_start(self, tx: Transmission) -> None:
-        for node_id, state in self._states.items():
-            if node_id == tx.src:
-                cls = "strong"
-            else:
-                cls = self.link(tx.src, node_id).classify()
-            tx.listener_class[node_id] = cls
-            if cls == "strong":
+        tx.view = view = self._source_view(tx.src)
+        marginal_key = id(tx)
+        # ``fast`` collects deferred (counter, n, p) binomial deficits
+        # for one vectorized draw after the listener sweep; everything
+        # else (bookkeeping, timer resegmentation) happens per listener
+        # in the exact scalar order, so event sequencing and per-stream
+        # draw sequences are unchanged.
+        fast = [] if self.marginal_batch_pool is not None else None
+        for state, is_strong, p_sense in view[1]:
+            if is_strong:
                 state.strong_count += 1
                 if state.strong_count == 1:
-                    state.listener.on_channel_busy()
-            elif cls == "marginal":
-                state.marginal[id(tx)] = self.link(tx.src, node_id).sense
+                    if fast is None:
+                        state.listener.on_channel_busy()
+                    else:
+                        state.listener.on_channel_busy_batch(fast)
+            elif fast is None:
+                state.marginal[marginal_key] = p_sense
                 state.listener.on_marginal_change()
+            else:
+                state.marginal[marginal_key] = p_sense
+                state.listener.on_marginal_change_batch(fast)
+        if fast:
+            self._apply_marginal_deficits(fast)
 
     def _finish_transmission(self, tx: Transmission) -> None:
         self._active.remove(tx)
@@ -262,15 +333,29 @@ class Medium:
         # EIFS decision they imply) are known at frame end, and the
         # MAC's deference logic needs them when the channel goes idle.
         self._deliver(tx)
-        for node_id, state in self._states.items():
-            cls = tx.listener_class.get(node_id, "negligible")
-            if cls == "strong":
+        marginal_key = id(tx)
+        fast = [] if self.marginal_batch_pool is not None else None
+        for state, is_strong, _ in tx.view[1]:
+            if is_strong:
                 state.strong_count -= 1
                 if state.strong_count == 0:
                     state.listener.on_channel_idle()
-            elif cls == "marginal":
-                state.marginal.pop(id(tx), None)
+            elif fast is None:
+                state.marginal.pop(marginal_key, None)
                 state.listener.on_marginal_change()
+            else:
+                state.marginal.pop(marginal_key, None)
+                state.listener.on_marginal_change_batch(fast)
+        if fast:
+            self._apply_marginal_deficits(fast)
+
+    def _apply_marginal_deficits(self, fast) -> None:
+        """Resolve deferred idle-slot deficits in one pool operation."""
+        deficits = self.marginal_batch_pool.bernoulli_deficits(
+            [(counter.rng, n, p) for counter, n, p in fast]
+        )
+        for (counter, _, _), deficit in zip(fast, deficits):
+            counter._slots += int(deficit)
 
     # ------------------------------------------------------------------
     # Jamming (driven by repro.faults.FaultInjector)
@@ -314,19 +399,40 @@ class Medium:
     # Reception
     # ------------------------------------------------------------------
     def _deliver(self, tx: Transmission) -> None:
-        for node_id, state in self._states.items():
-            if node_id == tx.src:
-                continue
-            link = self.link(tx.src, node_id)
+        view = tx.view
+        if view is not None and view[0] == self._links_version:
+            candidates = view[2]
+        else:
+            # A node moved (or registered) while the frame was in
+            # flight: classification stays frozen, but delivery uses
+            # live link probabilities, exactly as the uncached sweep.
             eps = LinkProbabilities.EPS
-            if link.receive <= eps and link.sense <= eps:
+            candidates = []
+            for node_id, state in self._states.items():
+                if node_id == tx.src:
+                    continue
+                link = self.link(tx.src, node_id)
+                if link.receive <= eps and link.sense <= eps:
+                    continue
+                candidates.append((node_id, state, link))
+        # Half-duplex: a node transmitting during any overlap (or
+        # being the source of an overlapping frame) hears nothing.
+        overlap_srcs = {o.src for o in tx.overlaps} if tx.overlaps else ()
+        fault_hooks = self.fault_hooks
+        rng_random = self.rng.random
+        one_minus_eps = 1.0 - LinkProbabilities.EPS
+        clean = not tx.jammed and not tx.overlaps
+        for node_id, state, link in candidates:
+            if node_id in overlap_srcs:
                 continue
-            # Half-duplex: a node transmitting during any overlap (or
-            # being the source of an overlapping frame) hears nothing.
-            if any(o.src == node_id for o in tx.overlaps):
-                continue
-            decoded = self._attempt_decode(tx, node_id, link)
-            if decoded and self.fault_hooks is not None:
+            if clean:
+                # Inlined ``_attempt_decode`` for the dominant case
+                # (no jam, no overlap): at most one receive draw.
+                rcv = link.receive
+                decoded = rcv >= one_minus_eps or rng_random() < rcv
+            else:
+                decoded = self._attempt_decode(tx, node_id, link)
+            if decoded and fault_hooks is not None:
                 fate = self.fault_hooks.intercept(tx, node_id)
                 if fate == "drop":
                     # Silent loss: the listener never learns the frame
@@ -372,7 +478,10 @@ class Medium:
                         )
                 state.listener.on_frame(tx.frame)
             else:
-                sensed = link.sense > 1.0 - eps or self.rng.random() < link.sense
+                sensed = (
+                    link.sense > 1.0 - LinkProbabilities.EPS
+                    or self.rng.random() < link.sense
+                )
                 if sensed:
                     self.frames_corrupted += 1
                     if self.trace is not None:
@@ -402,8 +511,13 @@ class Medium:
 
         Both signals carry independent shadowing, so their dB
         difference is Gaussian with std ``sigma*sqrt(2)`` around the
-        difference of mean path gains.
+        difference of mean path gains.  Pure geometry, so the value is
+        cached until a node moves.
         """
+        key = (src, interferer, at)
+        cached = self._capture_cache.get(key)
+        if cached is not None:
+            return cached
         d_src = max(distance(self._states[src].position, self._states[at].position), 1e-6)
         d_int = max(distance(self._states[interferer].position, self._states[at].position), 1e-6)
         mean_margin = (
@@ -413,8 +527,11 @@ class Medium:
         )
         sigma = self.model.sigma_db * math.sqrt(2.0)
         if sigma == 0.0:
-            return 1.0 if mean_margin >= 0.0 else 0.0
-        return normal_cdf(mean_margin / sigma)
+            probability = 1.0 if mean_margin >= 0.0 else 0.0
+        else:
+            probability = normal_cdf(mean_margin / sigma)
+        self._capture_cache[key] = probability
+        return probability
 
     @property
     def active_transmissions(self) -> int:

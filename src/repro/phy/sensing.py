@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import random
 
+from repro.sim.engine import SimulationError
 from repro.sim.rng import binomial
 
 
@@ -68,6 +69,10 @@ class IdleSlotCounter:
         self._marginal_p = 0.0
         #: Start of the next countable slot (>= any pending deference).
         self._cursor = start_time + difs_us
+        #: Latest ``now`` ever observed; guards against a backwards
+        #: clock (e.g. a drift-fault/resync interaction) silently
+        #: rewinding the cursor and double-counting slots.
+        self._last_now = start_time
 
     # ------------------------------------------------------------------
     # Regime transitions (advance first, then switch)
@@ -96,7 +101,22 @@ class IdleSlotCounter:
         self._marginal_p = p
 
     def advance(self, now: int) -> None:
-        """Count all complete eligible slots up to ``now``."""
+        """Count all complete eligible slots up to ``now``.
+
+        Raises
+        ------
+        SimulationError
+            If ``now`` precedes a previously observed time.  A
+            backwards clock would rewind the slot cursor on the next
+            strong edge and double-count (or negatively count) slots,
+            so it is rejected loudly rather than sampled.
+        """
+        if now < self._last_now:
+            raise SimulationError(
+                f"IdleSlotCounter clock went backwards: advance to {now} "
+                f"after observing {self._last_now}"
+            )
+        self._last_now = now
         if self._strong:
             self._cursor = max(self._cursor, now)
             return

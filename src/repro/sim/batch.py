@@ -1,0 +1,122 @@
+"""Replica-batched scenario execution.
+
+A figure sweep runs the *same* scenario under many seeds (the paper
+averages 30 seeded runs per data point).  :func:`run_scenario_batch`
+advances all those replicas inside one process with a shared
+:class:`~repro.sim.vecrng.VectorStreamPool`, so the per-listener lazy
+binomial draws of every replica's marginal transmission edges resolve
+as single vectorized pool operations instead of per-listener Python
+call chains (see ``Medium._apply_marginal_deficits``).  Replicas are
+advanced in lockstep time windows, which keeps the pool's buffers for
+all replicas warm and leaves room for cross-replica refill batching.
+
+Bit-identity: pooled streams reproduce ``random.Random`` draw-for-draw
+(:mod:`repro.sim.vecrng`), the deferred deficit application only moves
+*when* a cumulative counter is incremented within one event (nothing
+reads it in between), and replica interleaving is irrelevant because
+replicas share no mutable state.  ``run_scenario_batch`` therefore
+returns exactly the :class:`RunResult` values the scalar
+:func:`~repro.experiments.scenarios.run_scenario` would produce — a
+property enforced by the hypothesis test in
+``tests/test_batch_equivalence.py``.
+
+Applicability (see ``docs/PERFORMANCE.md`` for the full matrix): any
+config the scalar path accepts *except* fault-injected runs, which
+:func:`batchable` rejects so callers (the experiment executor) fall
+back to the scalar path run-by-run.  Tracing is a build-time argument
+rather than a config field and is likewise scalar-only.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import List, Optional, Sequence
+
+from repro.experiments.scenarios import RunResult, ScenarioConfig, build_scenario
+from repro.sim.vecrng import HAVE_NUMPY
+
+#: Number of lockstep windows a batch horizon is divided into.
+DEFAULT_WINDOWS = 32
+
+
+def batchable(config: ScenarioConfig) -> bool:
+    """Whether the batch fast path applies to ``config``.
+
+    Fault-injected runs stay scalar: injectors re-enter MACs through
+    crash/restart and jamming paths that the batched marginal-edge
+    sweep does not model, and campaign semantics (quarantine, retry)
+    are owned by the executor's scalar supervision anyway.
+    """
+    if not HAVE_NUMPY:
+        return False
+    faults = config.faults
+    return faults is None or faults.is_noop()
+
+
+def run_scenario_batch(
+    configs: Sequence[ScenarioConfig],
+    windows: int = DEFAULT_WINDOWS,
+    profile: Optional[bool] = None,
+) -> List[RunResult]:
+    """Run same-scenario, different-seed replicas through one pool.
+
+    ``configs`` must agree on every field except ``seed`` and every
+    config must satisfy :func:`batchable`; violations raise
+    ``ValueError``.  Results are returned in input order and are
+    bit-identical to scalar ``run_scenario`` output.
+    """
+    if not configs:
+        return []
+    base = configs[0]
+    for config in configs:
+        if not batchable(config):
+            raise ValueError(
+                "config is not batchable (fault-injected runs must use "
+                "the scalar path)"
+            )
+        if config.with_seed(base.seed) != base:
+            raise ValueError(
+                "batch replicas must differ only in seed; got divergent "
+                f"configs (seed {config.seed} vs {base.seed})"
+            )
+    from repro.sim.vecrng import VectorStreamPool
+
+    pool = VectorStreamPool(max(64, len(configs) * 8))
+    replicas = []
+    for config in configs:
+        sim, nodes, collector = build_scenario(
+            config, profile=profile, vector_pool=pool
+        )
+        for node in nodes:
+            node.start()
+        replicas.append((config, sim, collector))
+    horizon = base.duration_us
+    step = max(horizon // max(windows, 1), 1)
+    at = 0
+    # With many replicas alive at once, generational GC passes scan a
+    # working set proportional to the batch size on every collection
+    # threshold — a measured ~25% of batch wall time.  The kernel's
+    # event churn is acyclic (refcounting reclaims it), so collection
+    # is suspended for the run and any accumulated cycles are swept
+    # once at the end.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while at < horizon:
+            at = min(at + step, horizon)
+            for _, sim, _ in replicas:
+                sim.run(until=at)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
+    return [
+        RunResult(
+            config=config,
+            collector=collector,
+            events_processed=sim.events_processed,
+            event_counts=dict(sim.event_counts),
+            faults_injected={},
+        )
+        for config, sim, collector in replicas
+    ]

@@ -29,15 +29,27 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-# Heap entries are plain ``(time, seq, handle)`` tuples: ordering is
+# Heap entries are plain ``(time, seq, obj)`` tuples: ordering is
 # (time, sequence) so that events scheduled for the same timestamp fire
 # in FIFO order -- a property several MAC races rely on (e.g. two
 # stations whose backoff counters expire on the same slot boundary must
 # both observe an idle medium before either transmission begins).  The
 # monotonically increasing ``seq`` also guarantees tuple comparison
-# never reaches the (incomparable) handle element.  Tuples beat a
+# never reaches the (incomparable) third element.  Tuples beat a
 # dataclass here: the scheduler allocates and compares one entry per
 # event, and this is the hottest allocation in the kernel.
+#
+# ``obj`` is either an :class:`EventHandle` (cancellable timers) or a
+# bare callable scheduled through :meth:`Simulator.call_later` /
+# :meth:`Simulator.call_at`.  The bare form exists for the dominant
+# fire-and-forget patterns profiled by ``REPRO_PROFILE`` — transmission
+# completions, SIFS-spaced response chains, IFS waits that are never
+# cancelled — where allocating a handle per event is pure overhead.
+
+
+#: Effectively-infinite horizon sentinel: comparing against one int is
+#: cheaper in the dispatch loop than re-testing ``horizon is None``.
+INFINITE_TIME = 1 << 62
 
 
 class SimulationError(RuntimeError):
@@ -173,7 +185,10 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback)
+        time = self.now + delay
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._queue, (time, next(self._seq), handle))
+        return handle
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute simulation ``time``."""
@@ -184,6 +199,29 @@ class Simulator:
         handle = EventHandle(time, callback)
         heapq.heappush(self._queue, (time, next(self._seq), handle))
         return handle
+
+    def call_later(self, delay: int, callback: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, not cancellable.
+
+        The hot-path variant for callbacks that are never cancelled
+        (transmission completions, SIFS response chains): the heap
+        entry carries the bare callable, so no :class:`EventHandle` is
+        allocated and dispatch skips the cancellation check.  Fires in
+        the same FIFO-per-timestamp order as handle events.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._seq), callback)
+        )
+
+    def call_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Absolute-time :meth:`call_later` (fire-and-forget)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), callback))
 
     # ------------------------------------------------------------------
     # Execution
@@ -210,28 +248,44 @@ class Simulator:
             self._running = False
 
     def _run_fast(self, horizon: Optional[int]) -> None:
+        # Everything the loop touches per event is bound to a local:
+        # at ~100 ns of useful work per dispatch, attribute lookups on
+        # ``self`` are a measurable fraction of the kernel's cost.
         queue = self._queue
         heappop = heapq.heappop
-        while queue and not self._stopped:
-            event_time = queue[0][0]
-            if horizon is not None and event_time > horizon:
-                break
-            _, _, event = heappop(queue)
-            if event.cancelled:
-                continue
-            if event_time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event queue went backwards in time")
-            self.now = event_time
-            event.fired = True
-            self.events_processed += 1
-            if self._profile:
-                module = getattr(
-                    event.callback, "__module__", None
-                ) or "unknown"
-                self.event_counts[module] = (
-                    self.event_counts.get(module, 0) + 1
-                )
-            event.callback()
+        profile = self._profile
+        handle_cls = EventHandle
+        limit = INFINITE_TIME if horizon is None else horizon
+        events = self.events_processed
+        try:
+            while queue and not self._stopped:
+                entry = queue[0]
+                event_time = entry[0]
+                if event_time > limit:
+                    break
+                heappop(queue)
+                obj = entry[2]
+                if obj.__class__ is handle_cls:
+                    if obj.cancelled:
+                        continue
+                    obj.fired = True
+                    callback = obj.callback
+                else:
+                    callback = obj
+                if event_time < self.now:  # pragma: no cover - defensive
+                    raise SimulationError("event queue went backwards in time")
+                self.now = event_time
+                events += 1
+                if profile:
+                    module = getattr(
+                        callback, "__module__", None
+                    ) or "unknown"
+                    self.event_counts[module] = (
+                        self.event_counts.get(module, 0) + 1
+                    )
+                callback()
+        finally:
+            self.events_processed = events
 
     def _run_watched(self, horizon: Optional[int], dog: "Watchdog") -> None:
         """The fast loop plus budget guards and a rolling event trace.
@@ -247,13 +301,21 @@ class Simulator:
             _time.monotonic() + dog.max_wall_s
             if dog.max_wall_s is not None else None
         )
+        handle_cls = EventHandle
         while queue and not self._stopped:
-            event_time = queue[0][0]
+            entry = queue[0]
+            event_time = entry[0]
             if horizon is not None and event_time > horizon:
                 break
-            _, _, event = heappop(queue)
-            if event.cancelled:
-                continue
+            heappop(queue)
+            obj = entry[2]
+            if obj.__class__ is handle_cls:
+                if obj.cancelled:
+                    continue
+                obj.fired = True
+                callback = obj.callback
+            else:
+                callback = obj
             if event_time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("event queue went backwards in time")
             if dog.max_sim_us is not None and event_time > dog.max_sim_us:
@@ -274,17 +336,16 @@ class Simulator:
                         list(trace),
                     )
             self.now = event_time
-            event.fired = True
             self.events_processed += 1
-            trace.append((event_time, _describe_callback(event.callback)))
+            trace.append((event_time, _describe_callback(callback)))
             if self._profile:
                 module = getattr(
-                    event.callback, "__module__", None
+                    callback, "__module__", None
                 ) or "unknown"
                 self.event_counts[module] = (
                     self.event_counts.get(module, 0) + 1
                 )
-            event.callback()
+            callback()
 
     def stop(self) -> None:
         """Stop processing after the current event completes."""
@@ -292,8 +353,12 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next pending event, or ``None`` if drained."""
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+        while self._queue:
+            obj = self._queue[0][2]
+            if obj.__class__ is EventHandle and obj.cancelled:
+                heapq.heappop(self._queue)
+            else:
+                break
         return self._queue[0][0] if self._queue else None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

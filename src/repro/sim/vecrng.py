@@ -1,0 +1,408 @@
+"""Bit-identical, numpy-backed Mersenne Twister streams.
+
+The batch fast path (:mod:`repro.sim.batch`) advances many replicas in
+one process and wants the per-listener lazy-binomial draws of
+:mod:`repro.phy.sensing` performed as one vectorized operation per
+transmission edge instead of one Python call chain per listener.  That
+is only admissible if every stream still produces *exactly* the draw
+sequence ``random.Random`` would, because the repository's figures are
+pinned bit-for-bit to the scalar kernel's RNG consumption.
+
+:class:`VectorRandom` is therefore a ``random.Random`` subclass whose
+state lives as a row of a shared :class:`VectorStreamPool`:
+
+* the MT19937 state vector of *all* pooled streams is one ``(K, 624)``
+  uint32 matrix, twisted with vectorized numpy ops (three-segment
+  update, identical to the reference algorithm);
+* each row keeps a two-block (1248-word) buffer of *tempered* output
+  words — as a numpy row for bulk gathers and as a plain Python list
+  for cheap scalar draws; ``random()`` consumes word pairs exactly
+  like CPython's ``_randommodule.c`` (``(a>>5)*2**26 + (b>>6)`` scaled
+  by ``2**-53`` — a power-of-two multiply, so numpy, Python ints and
+  the C implementation agree to the bit);
+* bulk helpers (:meth:`VectorStreamPool.bernoulli_deficits`) consume
+  many rows' words in one gather, which is where the batch kernel's
+  speedup comes from.
+
+Scalar calls on a :class:`VectorRandom` are slower than the C
+``random.Random`` (each word is fetched by Python code), so the scalar
+simulation path keeps plain ``random.Random`` streams; only batch-mode
+replicas use pooled streams.  Equivalence of the two is enforced by
+``tests/test_vecrng.py`` draw-for-draw and end-to-end by the
+scalar-vs-batch property test.
+"""
+
+from __future__ import annotations
+
+import random
+from math import log
+from typing import List, Optional, Tuple
+
+try:  # gate: keep importable (with reduced function) without numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the image
+    np = None
+
+HAVE_NUMPY = np is not None
+
+_N = 624
+_TWO_BLOCKS = 2 * _N
+#: Largest per-row word window a bulk gather may need.  Binomial
+#: deficits are only vectorized for n <= 32 slots (two words per
+#: uniform), so 64 words always suffice.
+_MAX_BULK_WORDS = 64
+#: Below this many entries the numpy fixed overhead of a bulk gather
+#: exceeds the cost of drawing from the buffered word lists directly.
+_BULK_THRESHOLD = 8
+#: Rows at least this far into their buffer are refilled alongside any
+#: row that actually ran dry (see ``_normalize_row``): one vectorized
+#: twist over many rows amortizes numpy's small-array overhead, and a
+#: row past this cursor has consumed enough of its first block that
+#: shifting it out is worth the refresh.
+_SWEEP_CURSOR = _N + _N // 2
+_INV_2_53 = 1.0 / 9007199254740992.0
+
+if HAVE_NUMPY:
+    _ARANGE = np.arange(_MAX_BULK_WORDS)
+
+
+def _twist(mt: "np.ndarray") -> None:
+    """One MT19937 state transition, in place, on ``(K, 624)`` rows.
+
+    Three-segment formulation of the reference loop: entries
+    ``[0, 227)`` read old state only, ``[227, 454)`` and ``[454, 623)``
+    read entries already rewritten this round, and entry 623 wraps to
+    the fresh ``mt[0]``.  Matches ``random.Random`` word-for-word.
+    """
+    u = np.uint32(0x80000000)
+    lo = np.uint32(0x7FFFFFFF)
+    a = np.uint32(0x9908B0DF)
+    one = np.uint32(1)
+    y = (mt[:, 0:227] & u) | (mt[:, 1:228] & lo)
+    mt[:, 0:227] = mt[:, 397:624] ^ (y >> one) ^ ((y & one) * a)
+    y = (mt[:, 227:454] & u) | (mt[:, 228:455] & lo)
+    mt[:, 227:454] = mt[:, 0:227] ^ (y >> one) ^ ((y & one) * a)
+    y = (mt[:, 454:623] & u) | (mt[:, 455:624] & lo)
+    mt[:, 454:623] = mt[:, 227:396] ^ (y >> one) ^ ((y & one) * a)
+    y = (mt[:, 623:624] & u) | (mt[:, 0:1] & lo)
+    mt[:, 623:624] = mt[:, 396:397] ^ (y >> one) ^ ((y & one) * a)
+
+
+def _temper(mt: "np.ndarray") -> "np.ndarray":
+    """MT19937 output tempering of a ``(K, 624)`` block (returns copy)."""
+    y = mt.copy()
+    y ^= y >> np.uint32(11)
+    y ^= (y << np.uint32(7)) & np.uint32(0x9D2C5680)
+    y ^= (y << np.uint32(15)) & np.uint32(0xEFC60000)
+    y ^= y >> np.uint32(18)
+    return y
+
+
+class VectorStreamPool:
+    """Shared storage and bulk operations for pooled MT streams.
+
+    Rows are added through :meth:`stream`; the pool grows its matrices
+    geometrically.  All cross-stream vectorization lives here so that
+    :class:`VectorRandom` stays a thin per-stream view.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if not HAVE_NUMPY:
+            raise RuntimeError("VectorStreamPool requires numpy")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._mt = np.zeros((capacity, _N), dtype=np.uint32)
+        #: Previous-block raw state, kept so ``getstate`` can report a
+        #: CPython-compatible (state, index) pair while the cursor is
+        #: still inside the first buffered block.
+        self._mt_prev = np.zeros((capacity, _N), dtype=np.uint32)
+        #: Two consecutive tempered output blocks per row.
+        self._buf = np.zeros((capacity, _TWO_BLOCKS), dtype=np.uint32)
+        self._streams: List["VectorRandom"] = []
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    # ------------------------------------------------------------------
+    # Row management
+    # ------------------------------------------------------------------
+    def stream(self, seed: Optional[int] = None) -> "VectorRandom":
+        """Create a new pooled stream seeded like ``random.Random(seed)``."""
+        return VectorRandom(seed, pool=self)
+
+    def _add_row(self, stream: "VectorRandom") -> int:
+        if len(self._streams) == self._mt.shape[0]:
+            cap = self._mt.shape[0] * 2
+            for name in ("_mt", "_mt_prev", "_buf"):
+                old = getattr(self, name)
+                new = np.zeros((cap, old.shape[1]), dtype=np.uint32)
+                new[: old.shape[0]] = old
+                setattr(self, name, new)
+        row = len(self._streams)
+        self._streams.append(stream)
+        return row
+
+    def _load_row(self, stream: "VectorRandom", words, index: int) -> None:
+        """Install a CPython ``(624 words, index)`` state into a row."""
+        row = stream._row
+        mt = np.asarray(words, dtype=np.uint32).reshape(1, _N)
+        self._mt_prev[row] = mt[0]
+        self._buf[row, :_N] = _temper(mt)[0]
+        _twist(mt)
+        self._mt[row] = mt[0]
+        self._buf[row, _N:] = _temper(mt)[0]
+        stream._words = None
+        stream._ufloats = None
+        stream._cur = index
+
+    def _normalize_row(self, stream: "VectorRandom") -> None:
+        """Refill ``stream`` plus every other row that is nearly dry.
+
+        Shifting the second buffered block down and twisting a fresh
+        one is only legal once a row's first block is fully consumed
+        (cursor >= 624); any such row can be refreshed *early* at no
+        correctness cost, because refilling never changes which words
+        the stream will produce, only how many are buffered.  Sweeping
+        all sufficiently-consumed rows whenever one actually runs dry
+        turns many tiny per-row twists into one vectorized twist over
+        the group — this cross-replica refill batching is the main
+        reason pooled streams beat per-stream refills.
+        """
+        group = [s for s in self._streams
+                 if s._cur >= _SWEEP_CURSOR and s is not stream]
+        group.append(stream)
+        rows = np.fromiter(
+            (s._row for s in group), dtype=np.intp, count=len(group)
+        )
+        buf = self._buf
+        buf[rows, :_N] = buf[rows, _N:]
+        self._mt_prev[rows] = self._mt[rows]
+        mt = self._mt[rows]
+        _twist(mt)
+        self._mt[rows] = mt
+        buf[rows, _N:] = _temper(mt)
+        # The word-list and uniform mirrors are materialized lazily on
+        # the next scalar draw; rows consumed only through bulk gathers
+        # (or not at all before the next sweep) never pay the tolist.
+        for s in group:
+            s._words = None
+            s._ufloats = None
+            s._cur -= _N
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def bernoulli_deficits(self, entries: List[Tuple["VectorRandom", int, float]]):
+        """Vectorized ``n - Binomial(n, p)`` across many pooled streams.
+
+        ``entries`` holds ``(stream, n, p)`` with ``1 <= n <= 32`` and
+        ``0 < p < 1``; returns a sequence of idle-slot deficits (``n``
+        minus the busy count), one per entry, consuming exactly the
+        ``2n`` tempered words per stream that the scalar small-``n``
+        loop in :func:`repro.sim.rng.binomial` would.  Entries must
+        reference distinct streams (one marginal edge per listener per
+        burst), so cursor updates never collide.  Small batches skip
+        numpy: the draws come straight off the buffered word lists,
+        which is cheaper than a gather's fixed overhead.
+        """
+        count = len(entries)
+        if count < _BULK_THRESHOLD:
+            return [n - stream._bernoulli_count(n, p)
+                    for stream, n, p in entries]
+        rows = np.empty(count, dtype=np.intp)
+        ns = np.empty(count, dtype=np.int64)
+        ps = np.empty(count, dtype=np.float64)
+        cur = np.empty(count, dtype=np.int64)
+        # Refill first, record second: ``_normalize_row`` sweeps *every*
+        # stream past ``_SWEEP_CURSOR``, shifting their buffers and
+        # cursors, so recording a stream's position before a later
+        # entry triggers a sweep would gather stale words for it.
+        for stream, _, _ in entries:
+            if stream._cur > _TWO_BLOCKS - _MAX_BULK_WORDS:
+                self._normalize_row(stream)
+        for i, (stream, n, p) in enumerate(entries):
+            rows[i] = stream._row
+            ns[i] = n
+            ps[i] = p
+            cur[i] = stream._cur
+        width = int(2 * ns.max())
+        words = self._buf[rows[:, None], cur[:, None] + _ARANGE[:width]]
+        hi = (words[:, 0::2] >> np.uint32(5)).astype(np.float64)
+        lo = (words[:, 1::2] >> np.uint32(6)).astype(np.float64)
+        uniforms = (hi * 67108864.0 + lo) * _INV_2_53
+        mask = _ARANGE[: width // 2] < ns[:, None]
+        deficits = ns - ((uniforms < ps[:, None]) & mask).sum(axis=1)
+        for entry, n in zip(entries, ns):
+            entry[0]._cur += 2 * int(n)
+        return deficits
+
+
+class VectorRandom(random.Random):
+    """Pool-backed ``random.Random`` with bit-identical output.
+
+    Overrides both :meth:`random` and :meth:`getrandbits`, so the
+    inherited derived methods (``randrange``, ``gauss`` with its
+    ``gauss_next`` caching, ...) run unchanged on top of the pooled
+    word source and stay draw-for-draw equal to the C implementation.
+    """
+
+    def __init__(self, seed: Optional[int] = None,
+                 pool: Optional[VectorStreamPool] = None):
+        self._pool = pool if pool is not None else VectorStreamPool(1)
+        self._row = self._pool._add_row(self)
+        #: Python-list mirror of the pool row's tempered words, built
+        #: lazily on the first scalar draw after a refill (``None``
+        #: until then), plus the next unconsumed position in
+        #: ``[0, 1248)``.
+        self._words: Optional[List[int]] = None
+        #: Lazy per-refill cache of the buffer's 624 word *pairs* as
+        #: ready-made uniforms (pair ``i`` covers words ``2i, 2i+1``),
+        #: converted in one vectorized pass.  Lets the binomial loops
+        #: consume uniforms at Python-list speed instead of assembling
+        #: each float from two words.
+        self._ufloats: Optional[List[float]] = None
+        self._cur = 0
+        super().__init__(seed)
+
+    def _wordlist(self) -> List[int]:
+        words = self._words = self._pool._buf[self._row].tolist()
+        return words
+
+    def _uniform_list(self) -> List[float]:
+        buf = self._pool._buf[self._row]
+        hi = (buf[0::2] >> np.uint32(5)).astype(np.float64)
+        lo = (buf[1::2] >> np.uint32(6)).astype(np.float64)
+        uf = self._ufloats = ((hi * 67108864.0 + lo) * _INV_2_53).tolist()
+        return uf
+
+    # -- state ---------------------------------------------------------
+    def seed(self, a=None, version=2) -> None:  # noqa: D102 (base doc)
+        # Delegate seed derivation (int/str/None handling) to a scratch
+        # C stream, then import its exact state vector.
+        _, internal, _ = random.Random(a).getstate()
+        self._pool._load_row(self, internal[:_N], internal[_N])
+        self.gauss_next = None
+
+    def getstate(self):
+        pool = self._pool
+        cur = self._cur
+        if cur < _N:
+            words = pool._mt_prev[self._row]
+            index = cur
+        else:
+            words = pool._mt[self._row]
+            index = cur - _N
+        return (3, tuple(int(w) for w in words) + (index,), self.gauss_next)
+
+    def setstate(self, state) -> None:
+        version, internal, gauss_next = state
+        if version != 3:
+            raise ValueError(f"state version {version} not supported")
+        self._pool._load_row(self, internal[:_N], internal[_N])
+        self.gauss_next = gauss_next
+
+    # -- core draws ----------------------------------------------------
+    def _next_word(self) -> int:
+        cur = self._cur
+        if cur >= _TWO_BLOCKS:
+            self._pool._normalize_row(self)
+            cur = self._cur
+        words = self._words
+        if words is None:
+            words = self._wordlist()
+        self._cur = cur + 1
+        return words[cur]
+
+    def random(self) -> float:
+        cur = self._cur
+        if cur + 2 > _TWO_BLOCKS:
+            self._pool._normalize_row(self)
+            cur = self._cur
+        words = self._words
+        if words is None:
+            words = self._wordlist()
+        self._cur = cur + 2
+        return ((words[cur] >> 5) * 67108864.0
+                + (words[cur + 1] >> 6)) * _INV_2_53
+
+    # -- inlined draw loops (dispatched by repro.sim.rng.binomial) -----
+    #
+    # Both loops read the per-refill uniform cache: pair ``i`` of the
+    # buffer is exactly the float ``random()`` would assemble from
+    # words ``2i, 2i+1``, so consuming it at an even cursor is the
+    # same draw.  An odd cursor (a stray ``getrandbits`` left half a
+    # pair) falls back to the generic per-draw path to realign.
+
+    def _bernoulli_count(self, n: int, p: float) -> int:
+        """Sum of ``n`` Bernoulli(p) draws, word-for-word equal to the
+        scalar ``random() < p`` loop but without a method call per draw.
+        """
+        cur = self._cur
+        if cur & 1:
+            draw = self.random
+            return sum(draw() < p for _ in range(n))
+        if cur + 2 * n > _TWO_BLOCKS:
+            self._pool._normalize_row(self)
+            cur = self._cur
+        uf = self._ufloats
+        if uf is None:
+            uf = self._uniform_list()
+        count = 0
+        for u in uf[cur >> 1 : (cur >> 1) + n]:
+            if u < p:
+                count += 1
+        self._cur = cur + 2 * n
+        return count
+
+    def _binomial_inversion(self, n: int, log_q: float) -> int:
+        """Geometric-gap binomial inversion over cached uniforms.
+
+        Mirrors the tail loop of :func:`repro.sim.rng.binomial`
+        draw-for-draw.  The gap computation keeps ``math.log`` — numpy's
+        log may round differently, which would break bit-identity.
+        """
+        count = 0
+        position = 0
+        pool = self._pool
+        while True:
+            cur = self._cur
+            if cur & 1:
+                u = self.random()
+                position += (int(log(u) / log_q) if u > 0.0 else n) + 1
+                if position > n:
+                    return count
+                count += 1
+                continue
+            if cur + 2 > _TWO_BLOCKS:
+                pool._normalize_row(self)
+                cur = self._cur
+            uf = self._ufloats
+            if uf is None:
+                uf = self._uniform_list()
+            i = cur >> 1
+            for u in uf[i:]:
+                i += 1
+                position += (int(log(u) / log_q) if u > 0.0 else n) + 1
+                if position > n:
+                    self._cur = i << 1
+                    return count
+                count += 1
+            self._cur = _TWO_BLOCKS
+
+    def getrandbits(self, k: int) -> int:
+        if k < 0:
+            raise ValueError("number of bits must be non-negative")
+        if k == 0:
+            return 0
+        if k <= 32:
+            return self._next_word() >> (32 - k)
+        result = 0
+        shift = 0
+        while k > 0:
+            word = self._next_word()
+            if k < 32:
+                word >>= 32 - k
+            result |= word << shift
+            shift += 32
+            k -= 32
+        return result

@@ -1,0 +1,135 @@
+"""Scalar vs replica-batched execution: bit-identical by property.
+
+The batch kernel (:mod:`repro.sim.batch`) promises that pooling the
+replicas of a scenario changes *nothing* about any replica's results.
+Rather than pinning a handful of golden values, these tests let
+hypothesis pick the seed sets and assert full :class:`RunResult`
+metric equality between ``run_scenario`` and ``run_scenario_batch``
+for the two scenario families the paper leans on: an honest saturated
+CSMA/CA cell, and an RTS/CTS cell containing a backoff cheater under
+the CORRECT receiver.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.scenarios import (
+    PROTOCOL_80211,
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.net.topology import circle_topology
+from repro.sim.vecrng import HAVE_NUMPY
+
+if not HAVE_NUMPY:  # pragma: no cover - numpy ships with the toolchain
+    pytest.skip("numpy unavailable", allow_module_level=True)
+
+from repro.sim.batch import batchable, run_scenario_batch
+
+#: Short horizon: equivalence is structural, not statistical — if the
+#: kernels diverge at all they diverge within a few exchanges.
+DURATION_US = 150_000
+
+seed_sets = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    min_size=1, max_size=5, unique=True,
+)
+
+
+def _honest_csma(seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4),
+        protocol=PROTOCOL_80211,
+        use_rts_cts=False,
+        duration_us=DURATION_US,
+        seed=seed,
+    )
+
+
+def _cheating_rts_cts(seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        topology=circle_topology(4, misbehaving=(3,), pm_percent=70.0),
+        protocol=PROTOCOL_CORRECT,
+        use_rts_cts=True,
+        duration_us=DURATION_US,
+        seed=seed,
+    )
+
+
+def _assert_identical(scalar, batched):
+    assert scalar.events_processed == batched.events_processed
+    assert scalar.event_counts == batched.event_counts
+    assert scalar.throughputs() == batched.throughputs()
+    assert scalar.fairness_index == batched.fairness_index
+    assert scalar.avg_throughput_bps == batched.avg_throughput_bps
+    assert scalar.msb_throughput_bps == batched.msb_throughput_bps
+    assert (scalar.correct_diagnosis_percent
+            == batched.correct_diagnosis_percent)
+    assert scalar.misdiagnosis_percent == batched.misdiagnosis_percent
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds=seed_sets)
+def test_honest_csma_cell_bit_identical(seeds):
+    configs = [_honest_csma(seed) for seed in seeds]
+    batched = run_scenario_batch(configs)
+    for config, batch_result in zip(configs, batched):
+        _assert_identical(run_scenario(config), batch_result)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds=seed_sets)
+def test_cheating_rts_cts_cell_bit_identical(seeds):
+    configs = [_cheating_rts_cts(seed) for seed in seeds]
+    batched = run_scenario_batch(configs)
+    for config, batch_result in zip(configs, batched):
+        _assert_identical(run_scenario(config), batch_result)
+
+
+def test_results_returned_in_input_order():
+    configs = [_honest_csma(seed) for seed in (9, 4, 7)]
+    for config, result in zip(configs, run_scenario_batch(configs)):
+        assert result.config is config
+
+
+def test_divergent_configs_rejected():
+    with pytest.raises(ValueError, match="differ only in seed"):
+        run_scenario_batch([_honest_csma(1), _cheating_rts_cts(2)])
+
+
+def test_fault_injected_configs_are_not_batchable():
+    from repro.faults import FaultProfile, FrameLossFault
+
+    faulty = ScenarioConfig(
+        topology=circle_topology(4),
+        protocol=PROTOCOL_80211,
+        duration_us=DURATION_US,
+        seed=1,
+        faults=FaultProfile(frame_loss=(FrameLossFault(rate=0.5),)),
+    )
+    assert not batchable(faulty)
+    assert batchable(_honest_csma(1))
+    with pytest.raises(ValueError, match="not batchable"):
+        run_scenario_batch([faulty, faulty.with_seed(2)])
+
+
+def test_executor_batch_path_matches_scalar(monkeypatch, tmp_path):
+    from repro.experiments.executor import ExperimentExecutor
+
+    configs = [_cheating_rts_cts(seed) for seed in (1, 2, 3)]
+    monkeypatch.setenv("REPRO_BATCH", "1")
+    with ExperimentExecutor(workers=1, cache=None) as executor:
+        batched = executor.run(configs)
+        assert executor.batched_runs == len(configs)
+    monkeypatch.setenv("REPRO_BATCH", "0")
+    with ExperimentExecutor(workers=1, cache=None) as executor:
+        scalars = executor.run(configs)
+        assert executor.batched_runs == 0
+    for scalar, batch_result in zip(scalars, batched):
+        _assert_identical(scalar, batch_result)

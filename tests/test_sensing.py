@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.phy.sensing import IdleSlotCounter
+from repro.sim.engine import SimulationError
 
 SLOT = 20
 DIFS = 50
@@ -40,8 +41,13 @@ class TestCleanIdle:
     def test_time_cannot_go_backwards_silently(self):
         c = make_counter()
         c.idle_slots(200)
-        # Earlier queries are simply no-ops (cursor already beyond).
-        assert c.idle_slots(100) == c.idle_slots(200)
+        # A backwards clock (drift fault + resync gone wrong) would
+        # rewind the cursor at the next strong edge and double-count
+        # slots, so it is rejected loudly rather than ignored.
+        with pytest.raises(SimulationError, match="backwards"):
+            c.idle_slots(100)
+        # Re-querying at the frontier still works after the rejection.
+        assert c.idle_slots(200) == c.idle_slots(200)
 
 
 class TestStrongBusy:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError, Simulator, Watchdog
 
 
 class TestScheduling:
@@ -181,3 +181,45 @@ class TestStopAndIntrospection:
         sim.schedule(1, recurse)
         with pytest.raises(SimulationError):
             sim.run()
+
+
+class TestDispatchLoopParity:
+    """The fast and watched dispatch loops must count identically.
+
+    ``REPRO_PROFILE`` plus a watchdog routes dispatch through
+    ``_run_watched``; without a watchdog the same run uses
+    ``_run_fast``.  Both results and every per-subsystem event tally
+    must agree — a double-counted dispatch in either loop would skew
+    the kernel profiles that performance work keys off (and would
+    betray a dispatch executed twice).
+    """
+
+    def test_profiled_counters_match_between_fast_and_watched(self):
+        from repro.experiments.scenarios import ScenarioConfig, build_scenario
+        from repro.net.topology import circle_topology
+
+        def run(watchdog):
+            config = ScenarioConfig(
+                topology=circle_topology(3, misbehaving=(2,), pm_percent=60.0),
+                protocol="correct",
+                duration_us=250_000,
+                seed=5,
+            )
+            sim, nodes, collector = build_scenario(
+                config, profile=True, watchdog=watchdog
+            )
+            for node in nodes:
+                node.start()
+            sim.run(until=config.duration_us)
+            return sim, collector
+
+        fast_sim, fast_collector = run(watchdog=None)
+        watched_sim, watched_collector = run(
+            watchdog=Watchdog(max_events=10_000_000)
+        )
+        assert fast_sim.events_processed > 0
+        assert fast_sim.events_processed == watched_sim.events_processed
+        assert dict(fast_sim.event_counts) == dict(watched_sim.event_counts)
+        assert sum(fast_sim.event_counts.values()) == fast_sim.events_processed
+        assert (fast_collector.throughputs(250_000)
+                == watched_collector.throughputs(250_000))

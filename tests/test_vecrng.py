@@ -1,0 +1,174 @@
+"""Draw-for-draw equivalence of pooled MT streams vs ``random.Random``.
+
+The batch kernel's bit-identity guarantee reduces to one invariant:
+:class:`repro.sim.vecrng.VectorRandom` must produce *exactly* the
+sequence the C ``random.Random`` would for every method the simulator
+touches (``random``, ``getrandbits`` and everything ``random.Random``
+derives from them), under every interleaving with the pool's bulk
+operations.  These tests pin that invariant directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.rng import binomial
+from repro.sim.vecrng import HAVE_NUMPY
+
+if not HAVE_NUMPY:  # pragma: no cover - numpy ships with the toolchain
+    pytest.skip("numpy unavailable", allow_module_level=True)
+
+from repro.sim.vecrng import VectorRandom, VectorStreamPool
+
+SEEDS = (0, 1, 1234, 2**63 - 1)
+
+
+def test_random_matches_cpython_draw_for_draw():
+    pool = VectorStreamPool(4)
+    for seed in SEEDS:
+        ref = random.Random(seed)
+        vec = pool.stream(seed)
+        for _ in range(5000):  # crosses several refill boundaries
+            assert vec.random() == ref.random()
+
+
+def test_getrandbits_matches_across_widths():
+    pool = VectorStreamPool(2)
+    for seed in (7, 99):
+        ref = random.Random(seed)
+        vec = pool.stream(seed)
+        for k in (1, 5, 31, 32, 33, 64, 65, 128, 613):
+            for _ in range(50):
+                assert vec.getrandbits(k) == ref.getrandbits(k)
+        assert vec.getrandbits(0) == ref.getrandbits(0) == 0
+        with pytest.raises(ValueError):
+            vec.getrandbits(-1)
+
+
+def test_derived_methods_match():
+    # randrange goes through _randbelow_with_getrandbits; gauss caches
+    # a second sample in gauss_next — both inherited, both must track.
+    pool = VectorStreamPool(2)
+    ref = random.Random(42)
+    vec = pool.stream(42)
+    for _ in range(500):
+        assert vec.randrange(1, 1000) == ref.randrange(1, 1000)
+    for _ in range(501):  # odd count leaves gauss_next populated
+        assert vec.gauss(0.0, 1.0) == ref.gauss(0.0, 1.0)
+    assert vec.random() == ref.random()
+
+
+def test_state_roundtrip_and_cross_compatibility():
+    pool = VectorStreamPool(2)
+    vec = pool.stream(5)
+    ref = random.Random(5)
+    for _ in range(1001):  # odd: cursor mid-buffer
+        vec.random(), ref.random()
+    state = vec.getstate()
+    assert state == ref.getstate()
+    # A C stream resumed from the pooled stream's state must continue
+    # identically, and vice versa.
+    resumed = random.Random()
+    resumed.setstate(state)
+    tail = [vec.random() for _ in range(1000)]
+    assert tail == [resumed.random() for _ in range(1000)]
+    vec2 = pool.stream(0)
+    vec2.setstate(state)
+    assert [vec2.random() for _ in range(1000)] == tail
+
+
+def test_binomial_dispatch_matches_scalar_stream():
+    # binomial() routes pooled streams through the inlined loops
+    # (_bernoulli_count / _binomial_inversion); the samples and the
+    # stream positions afterwards must match a C stream exactly.
+    pool = VectorStreamPool(2)
+    ref = random.Random(11)
+    vec = pool.stream(11)
+    cases = [(1, 0.3), (32, 0.7), (40, 0.05), (500, 0.02), (200, 0.97),
+             (5000, 0.999), (64, 0.5), (0, 0.5), (10, 0.0), (10, 1.0)]
+    for n, p in cases:
+        assert binomial(vec, n, p) == binomial(ref, n, p)
+    assert vec.random() == ref.random()  # streams still aligned
+
+
+def test_bernoulli_deficits_bulk_matches_scalar_loop():
+    # The medium's per-edge bulk draw (many streams at once) must
+    # consume each stream exactly like the scalar small-n loop.
+    for entries_count in (3, 8, 40):  # below and above _BULK_THRESHOLD
+        pool = VectorStreamPool(4)
+        streams = [pool.stream(1000 + i) for i in range(entries_count)]
+        refs = [random.Random(1000 + i) for i in range(entries_count)]
+        entries = [(s, 1 + (i * 7) % 32, 0.05 + 0.9 * (i / entries_count))
+                   for i, s in enumerate(streams)]
+        deficits = pool.bernoulli_deficits(entries)
+        for (stream, n, p), deficit, ref in zip(entries, deficits, refs):
+            busy = sum(ref.random() < p for _ in range(n))
+            assert int(deficit) == n - busy
+            assert stream.random() == ref.random()
+
+
+def test_bulk_and_scalar_interleaving_stays_aligned():
+    pool = VectorStreamPool(2)
+    vec = pool.stream(77)
+    ref = random.Random(77)
+    for round_ in range(200):
+        n = 1 + (round_ * 13) % 32
+        p = 0.5
+        (deficit,) = pool.bernoulli_deficits([(vec, n, p)])
+        busy = sum(ref.random() < p for _ in range(n))
+        assert int(deficit) == n - busy
+        assert vec.getrandbits(17) == ref.getrandbits(17)
+        assert vec.random() == ref.random()
+
+
+def test_bulk_draw_with_mid_batch_sweep_refill():
+    # Regression: _normalize_row sweeps *every* stream past the sweep
+    # cursor.  If a late entry in a bulk draw triggers a refill, the
+    # sweep shifts the buffers of earlier entries too — their gather
+    # positions must be recorded after all refills, not before.
+    from repro.sim.vecrng import _SWEEP_CURSOR, _TWO_BLOCKS
+
+    pool = VectorStreamPool(8)
+    swept = pool.stream(21)     # parked inside the sweep window
+    trigger = pool.stream(22)   # forces the refill mid-batch
+    extras = [pool.stream(30 + i) for i in range(6)]
+    refs = {id(s): random.Random(seed) for s, seed in
+            zip([swept, trigger, *extras], [21, 22, *range(30, 36)])}
+
+    # Order matters: swept advances first (its refill sweeps nobody,
+    # the others are still below the sweep cursor), then trigger lands
+    # past the bulk-refill threshold *without* crossing its own refill
+    # so swept stays parked inside the sweep window.
+    for _ in range(500):  # cursor 1000: >= _SWEEP_CURSOR
+        swept.random(), refs[id(swept)].random()
+    assert _SWEEP_CURSOR <= swept._cur <= _TWO_BLOCKS - 64
+    for _ in range(282):  # cursor 1188: past the bulk refill threshold
+        trigger.random(), refs[id(trigger)].random()
+    assert trigger._cur > _TWO_BLOCKS - 64
+    assert swept._cur >= _SWEEP_CURSOR  # still inside the sweep window
+
+    entries = [(s, 16, 0.5) for s in [swept, *extras, trigger]]
+    deficits = pool.bernoulli_deficits(entries)
+    for (stream, n, p), deficit in zip(entries, deficits):
+        ref = refs[id(stream)]
+        busy = sum(ref.random() < p for _ in range(n))
+        assert int(deficit) == n - busy
+        assert stream.random() == ref.random()
+
+
+def test_pool_grows_past_capacity():
+    pool = VectorStreamPool(2)
+    streams = [pool.stream(i) for i in range(70)]
+    assert len(pool) == 70
+    for i, s in enumerate(streams):  # earlier rows survive the realloc
+        assert s.random() == random.Random(i).random()
+
+
+def test_seed_reseed_matches():
+    pool = VectorStreamPool(2)
+    vec = pool.stream(3)
+    vec.random()
+    vec.seed(9)
+    assert vec.random() == random.Random(9).random()
