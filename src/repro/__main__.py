@@ -42,6 +42,22 @@ supervised executor; points whose runs ultimately fail (after retries)
 are flagged in the tables rather than aborting the sweep, and the
 command exits with status 3 so scripts notice the degradation.
 
+``campaign``
+    Crash-safe sweep campaigns (see :mod:`repro.experiments.campaign`
+    and ``docs/CAMPAIGNS.md``): a declarative grid spec is expanded,
+    optionally sharded, executed on the supervised pool, and every
+    settled run is appended to an fsync'd, checksummed journal so the
+    campaign can be SIGKILLed at any instant and resumed without
+    recomputing or double-counting::
+
+        python -m repro campaign "scenario=circle:8; pm=0|50|100; seeds=1-30; seconds=5" --dir sweep.out
+        python -m repro campaign "$(cat sweep.spec)" --resume sweep.out
+        python -m repro campaign @sweep.spec --dir shard0 --shard 0/4
+
+    Exit codes: 0 — all cells ok; 2 — bad spec/usage; 3 — complete
+    but some cells failed or were quarantined; 4 — interrupted by
+    SIGINT/SIGTERM after draining in-flight work (resumable).
+
 ``theory``
     Print the Bianchi saturation predictions next to simulated values
     for a sweep of network sizes (substrate validation).
@@ -277,6 +293,82 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.campaign import (
+        CampaignError,
+        CampaignSpecError,
+        expand_cells,
+        format_campaign,
+        parse_campaign,
+        run_campaign,
+        shard_cells,
+    )
+
+    text = args.spec
+    if text.startswith("@"):
+        spec_path = pathlib.Path(text[1:])
+        if not spec_path.is_file():
+            print(f"spec file not found: {spec_path}", file=sys.stderr)
+            return 2
+        text = spec_path.read_text(encoding="utf-8")
+    try:
+        spec = parse_campaign(text)
+    except CampaignSpecError as exc:
+        print(f"bad campaign spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        shard_index_s, _, shard_count_s = args.shard.partition("/")
+        shard = (int(shard_index_s), int(shard_count_s))
+    except ValueError:
+        print(f"bad --shard {args.shard!r} (expected I/N, e.g. 0/4)",
+              file=sys.stderr)
+        return 2
+
+    resume = args.resume is not None
+    out_dir = args.resume if isinstance(args.resume, str) else args.dir
+
+    if args.dry_run:
+        try:
+            cells = shard_cells(expand_cells(spec), *shard)
+        except CampaignSpecError as exc:
+            print(f"bad campaign spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"spec:  {format_campaign(spec)}")
+        print(f"shard: {shard[0]}/{shard[1]} -> {len(cells)} cell(s)")
+        for cell in cells[:10]:
+            print(f"  {cell.key}")
+        if len(cells) > 10:
+            print(f"  ... and {len(cells) - 10} more")
+        return 0
+
+    try:
+        report = run_campaign(
+            spec, out_dir, resume=resume, shard=shard,
+            chunk_size=args.chunk, workers=args.workers,
+            progress=None if args.quiet else sys.stderr,
+        )
+    except (CampaignError, CampaignSpecError) as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    status = ("interrupted (resumable)" if report.interrupted
+              else "complete")
+    print(
+        f"campaign {status}: {report.settled}/{report.cells} cell(s) "
+        f"settled (ok={report.ok} failed={report.failed} "
+        f"quarantined={report.quarantined}); "
+        f"{report.resumed} resumed from journal, "
+        f"{report.executed} simulated now"
+    )
+    print(f"  journal: {report.journal_path}")
+    print(f"  summary: {report.summary_path}")
+    if report.interrupted:
+        print(f"  resume with: python -m repro campaign '...' "
+              f"--resume {report.out_dir}")
+    return report.exit_code
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     from repro.experiments import PROTOCOL_80211
 
@@ -356,6 +448,33 @@ def main(argv: list[str] | None = None) -> int:
     p_check.add_argument("--list", action="store_true",
                          help="list registered scenarios and profiles")
     p_check.set_defaults(func=_cmd_check)
+
+    p_camp = sub.add_parser(
+        "campaign", help="run a crash-safe, resumable sweep campaign"
+    )
+    p_camp.add_argument("spec",
+                        help="campaign spec text, or @FILE to read one "
+                             "(see docs/CAMPAIGNS.md for the grammar)")
+    p_camp.add_argument("--dir", default="campaign.out",
+                        help="campaign directory for the journal and "
+                             "summary (default: campaign.out)")
+    p_camp.add_argument("--resume", nargs="?", const=True, default=None,
+                        metavar="DIR",
+                        help="resume an interrupted campaign (optionally "
+                             "naming its directory; default: --dir)")
+    p_camp.add_argument("--shard", default="0/1", metavar="I/N",
+                        help="run shard I of N (deterministic round-robin "
+                             "split; default 0/1 = everything)")
+    p_camp.add_argument("--chunk", type=int, default=32,
+                        help="cells per executor batch between journal "
+                             "flushes (default: 32)")
+    p_camp.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: cpu count)")
+    p_camp.add_argument("--dry-run", action="store_true",
+                        help="print the expanded cell list and exit")
+    p_camp.add_argument("--quiet", action="store_true",
+                        help="suppress per-chunk progress on stderr")
+    p_camp.set_defaults(func=_cmd_campaign)
 
     p_theory = sub.add_parser("theory", help="Bianchi model vs simulator")
     p_theory.add_argument("--sizes", type=int, nargs="+",

@@ -1,0 +1,81 @@
+"""Crash-safe campaign orchestration (sweep grids at fleet scale).
+
+Three layers, one durability contract:
+
+* :mod:`repro.experiments.campaign.spec` — the declarative sweep
+  grammar (scenario x protocol x PM x detector x faults x seeds),
+  canonical formatting, deterministic cell expansion and sharding;
+* :mod:`repro.experiments.campaign.journal` — the append-only,
+  fsync'd, checksummed run journal plus the streaming aggregator;
+* :mod:`repro.experiments.campaign.orchestrator` — chunked execution
+  on :class:`~repro.experiments.executor.ExperimentExecutor`,
+  exactly-once resume (``--resume``), graceful SIGINT/SIGTERM drain.
+
+``python -m repro campaign`` is the CLI face; ``docs/CAMPAIGNS.md``
+documents the grammar, journal format, resume semantics and exit
+codes.
+"""
+
+from repro.experiments.campaign.journal import (
+    CampaignAggregator,
+    JournalCorruptError,
+    JournalError,
+    JournalRecordError,
+    JournalWriter,
+    METRIC_FIELDS,
+    decode_record,
+    encode_record,
+    read_journal,
+    repair_journal,
+)
+from repro.experiments.campaign.orchestrator import (
+    CampaignError,
+    CampaignReport,
+    EXIT_FAILED_CELLS,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    JOURNAL_NAME,
+    SUMMARY_NAME,
+    run_campaign,
+    run_cells,
+)
+from repro.experiments.campaign.spec import (
+    CampaignCell,
+    CampaignSpec,
+    CampaignSpecError,
+    ScenarioAxis,
+    expand_cells,
+    format_campaign,
+    parse_campaign,
+    shard_cells,
+)
+
+__all__ = [
+    "CampaignAggregator",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignReport",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "EXIT_FAILED_CELLS",
+    "EXIT_INTERRUPTED",
+    "EXIT_OK",
+    "JOURNAL_NAME",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalRecordError",
+    "JournalWriter",
+    "METRIC_FIELDS",
+    "ScenarioAxis",
+    "SUMMARY_NAME",
+    "decode_record",
+    "encode_record",
+    "expand_cells",
+    "format_campaign",
+    "parse_campaign",
+    "read_journal",
+    "repair_journal",
+    "run_campaign",
+    "run_cells",
+    "shard_cells",
+]

@@ -1,0 +1,352 @@
+"""Append-only, fsync'd, checksummed run journal for campaigns.
+
+The journal is the campaign's only durable state: one line per settled
+run (completed, failed or quarantined), appended *after* the run
+finished and fsync'd before the orchestrator moves on, so a SIGKILL,
+OOM or power cut at any instant loses at most the record being
+written — never a recorded one, and never the file's integrity.
+
+Line format (everything printable, greppable, diffable)::
+
+    <crc32 of payload, 8 hex chars> <payload JSON, sorted keys>\\n
+
+* :func:`encode_record` / :func:`decode_record` are exact inverses
+  (property-tested); the checksum makes corruption — torn writes,
+  filesystem bitrot, manual editing — detectable per record.
+* :func:`read_journal` replays a journal file.  A bad **tail** record
+  (partial line from a mid-write kill, with or without its newline) is
+  tolerated: the record is dropped, ``truncated`` is reported, and the
+  campaign simply re-runs that cell.  A bad record anywhere *else*
+  raises :class:`JournalCorruptError` — that is real corruption, not a
+  crash artifact, and silently skipping it would double-run cells.
+* :class:`JournalWriter` appends with flush per record (SIGKILL-safe:
+  the OS keeps flushed bytes) and ``os.fsync`` per append by default;
+  the orchestrator defers the fsync to once per chunk, bounding the
+  *machine*-crash window at one chunk while keeping journal overhead
+  inside the bound ``benchmarks/test_bench_campaign.py`` measures.
+
+Record kinds (the ``kind`` field):
+
+``campaign``
+    Header, written once at journal creation: canonical spec text,
+    shard assignment, journal schema and code version.  Resume
+    verifies the spec and shard match before trusting the records.
+``run``
+    One settled run: ``fp`` (the config fingerprint — the
+    exactly-once key), ``cell``/``group``/``seed`` identity, ``status``
+    (``ok`` / ``failed`` / ``quarantined``), ``metrics`` for ok runs,
+    ``error``/``attempts`` for the rest, and wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Tuple
+
+#: Journal schema version (bump on incompatible record changes).
+JOURNAL_SCHEMA = 1
+
+#: Metrics recorded per ok run, in aggregation order.  All are
+#: deterministic functions of the run's config, so interrupted and
+#: uninterrupted campaigns record bit-identical values.
+METRIC_FIELDS = (
+    "avg_throughput_bps",
+    "msb_throughput_bps",
+    "correct_diagnosis_percent",
+    "misdiagnosis_percent",
+    "fairness_index",
+    "detection_rate_percent",
+    "false_alarm_percent",
+    "events_processed",
+)
+
+
+class JournalError(RuntimeError):
+    """Base class for journal failures."""
+
+
+class JournalRecordError(JournalError):
+    """One journal line failed its checksum or did not parse."""
+
+
+class JournalCorruptError(JournalError):
+    """A non-tail record is bad — the journal cannot be trusted."""
+
+
+def encode_record(record: dict) -> str:
+    """One journal line (without newline) for ``record``."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    checksum = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{checksum:08x} {payload}"
+
+
+def decode_record(line: str) -> dict:
+    """Inverse of :func:`encode_record`; raises :class:`JournalRecordError`."""
+    checksum_s, sep, payload = line.partition(" ")
+    if not sep or len(checksum_s) != 8:
+        raise JournalRecordError(f"malformed journal line {line[:60]!r}")
+    try:
+        expected = int(checksum_s, 16)
+    except ValueError:
+        raise JournalRecordError(
+            f"bad checksum field {checksum_s!r}"
+        ) from None
+    actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    if actual != expected:
+        raise JournalRecordError(
+            f"checksum mismatch ({actual:08x} != {expected:08x}) on "
+            f"{payload[:60]!r}"
+        )
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise JournalRecordError(f"unparseable payload: {exc}") from None
+    if not isinstance(record, dict):
+        raise JournalRecordError(f"journal record is not an object: {payload[:60]!r}")
+    return record
+
+
+@dataclass
+class JournalReadResult:
+    """Outcome of replaying a journal file."""
+
+    records: List[dict]
+    #: True when a bad tail record was dropped (mid-write kill).
+    truncated: bool = False
+    #: The dropped tail text, for diagnostics.
+    dropped_tail: Optional[str] = None
+    #: Byte length of the good, newline-terminated prefix.  Appending
+    #: may only happen after :func:`repair_journal` truncates the file
+    #: back to this length — appending after a torn tail would fuse
+    #: the new record onto the torn bytes and corrupt both.
+    valid_bytes: int = 0
+    #: True when the last kept record was missing only its newline.
+    needs_newline: bool = False
+
+
+def read_journal(path: os.PathLike | str) -> JournalReadResult:
+    """Replay ``path``; tolerate a truncated tail, reject deeper damage."""
+    raw = pathlib.Path(path).read_bytes()
+    result = JournalReadResult(records=[])
+    if not raw:
+        return result
+    lines = raw.split(b"\n")
+    body = lines[:-1]
+    tail = lines[-1] if lines[-1] != b"" else None
+    for position, line_bytes in enumerate(body):
+        try:
+            line = line_bytes.decode("utf-8")
+            record = decode_record(line)
+        except (UnicodeDecodeError, JournalRecordError) as exc:
+            if position == len(body) - 1 and tail is None:
+                # A complete-looking final line can still be a torn
+                # write (payload cut before the newline of the *next*
+                # buffered write).  Tolerate it like an unterminated
+                # tail: drop it, flag truncation.
+                result.truncated = True
+                result.dropped_tail = line_bytes[:120].decode(
+                    "utf-8", "replace"
+                )
+                return result
+            raise JournalCorruptError(
+                f"record {position + 1} of {path} is damaged ({exc}); "
+                "refusing to resume from a corrupt journal"
+            ) from None
+        result.records.append(record)
+        result.valid_bytes += len(line_bytes) + 1
+    if tail is not None:
+        # Unterminated final line: the classic mid-write kill.  If it
+        # happens to decode it was only missing its newline — keep it.
+        try:
+            result.records.append(decode_record(tail.decode("utf-8")))
+            result.valid_bytes += len(tail)
+            result.needs_newline = True
+        except (UnicodeDecodeError, JournalRecordError):
+            result.truncated = True
+            result.dropped_tail = tail[:120].decode("utf-8", "replace")
+    return result
+
+
+def repair_journal(
+    path: os.PathLike | str, result: JournalReadResult
+) -> bool:
+    """Make ``path`` safely appendable again after a torn write.
+
+    Truncates the file back to ``result.valid_bytes`` (dropping a torn
+    tail record) and restores the final newline when the last kept
+    record was missing one.  Returns True when the file was modified.
+    The dropped record's cell was never observed as settled, so the
+    campaign simply re-runs it — no data is lost.
+    """
+    if not (result.truncated or result.needs_newline):
+        return False
+    with open(path, "r+b") as fh:
+        fh.truncate(result.valid_bytes)
+        if result.needs_newline:
+            fh.seek(0, os.SEEK_END)
+            fh.write(b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return True
+
+
+class JournalWriter:
+    """Append-only journal handle with explicit durability points.
+
+    Opens in binary append mode; every :meth:`append` writes one
+    encoded line and flushes it to the OS (a SIGKILL of this process
+    cannot lose flushed bytes — only a machine crash can).  By default
+    each append also fsyncs; callers appending a burst of records can
+    pass ``sync=False`` and call :meth:`sync` once at the end — the
+    orchestrator does this per chunk, which keeps the journal's media-
+    crash window at one chunk while paying one fsync per chunk instead
+    of one per run.
+    """
+
+    def __init__(self, path: os.PathLike | str):
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[IO[bytes]] = self.path.open("ab")
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def append(self, record: dict, sync: bool = True) -> None:
+        if self._fh is None:
+            raise JournalError("journal writer is closed")
+        line = encode_record(record) + "\n"
+        self._fh.write(line.encode("utf-8"))
+        self._fh.flush()
+        if sync:
+            os.fsync(self._fh.fileno())
+
+    def sync(self) -> None:
+        """fsync everything appended so far."""
+        if self._fh is None:
+            raise JournalError("journal writer is closed")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            finally:
+                self._fh.close()
+                self._fh = None
+
+
+# ----------------------------------------------------------------------
+# Incremental aggregation
+# ----------------------------------------------------------------------
+@dataclass
+class _MetricAccumulator:
+    """Streaming mean/CI via Welford's algorithm (order-deterministic)."""
+
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+
+    def summary(self) -> Dict[str, float]:
+        if self.n < 2:
+            return {"mean": self.mean, "ci95": 0.0, "n": self.n}
+        variance = self.m2 / (self.n - 1)
+        ci95 = 1.96 * (variance ** 0.5) / (self.n ** 0.5)
+        return {"mean": self.mean, "ci95": ci95, "n": self.n}
+
+
+@dataclass
+class _GroupAggregate:
+    ok: int = 0
+    failed: int = 0
+    quarantined: int = 0
+    metrics: Dict[str, _MetricAccumulator] = field(default_factory=dict)
+
+
+class CampaignAggregator:
+    """Streaming per-group aggregates over journal ``run`` records.
+
+    Feeding the same records in the same order always produces the
+    same floats (Welford updates are order-deterministic), and the
+    campaign layer guarantees journal order *is* deterministic cell
+    order — so a resumed campaign's final summary is bit-identical to
+    an uninterrupted one's.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, _GroupAggregate] = {}
+        self.ok = 0
+        self.failed = 0
+        self.quarantined = 0
+
+    def add(self, record: dict) -> None:
+        if record.get("kind") != "run":
+            return
+        group = self._groups.setdefault(record["group"], _GroupAggregate())
+        status = record["status"]
+        if status == "ok":
+            self.ok += 1
+            group.ok += 1
+            metrics = record.get("metrics", {})
+            for name in METRIC_FIELDS:
+                if name in metrics:
+                    group.metrics.setdefault(
+                        name, _MetricAccumulator()
+                    ).add(float(metrics[name]))
+        elif status == "quarantined":
+            self.quarantined += 1
+            group.quarantined += 1
+        else:
+            self.failed += 1
+            group.failed += 1
+
+    @property
+    def settled(self) -> int:
+        return self.ok + self.failed + self.quarantined
+
+    def groups(self) -> Dict[str, dict]:
+        """Per-group summary dict, keys sorted for stable serialization."""
+        out: Dict[str, dict] = {}
+        for group_key in sorted(self._groups):
+            group = self._groups[group_key]
+            out[group_key] = {
+                "ok": group.ok,
+                "failed": group.failed,
+                "quarantined": group.quarantined,
+                "metrics": {
+                    name: group.metrics[name].summary()
+                    for name in METRIC_FIELDS
+                    if name in group.metrics
+                },
+            }
+        return out
+
+
+__all__ = [
+    "CampaignAggregator",
+    "JOURNAL_SCHEMA",
+    "JournalCorruptError",
+    "JournalError",
+    "JournalReadResult",
+    "JournalRecordError",
+    "JournalWriter",
+    "METRIC_FIELDS",
+    "decode_record",
+    "encode_record",
+    "read_journal",
+    "repair_journal",
+]

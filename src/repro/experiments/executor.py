@@ -117,6 +117,12 @@ class FailedRun:
 RunOutcome = Union[RunResult, FailedRun]
 
 
+#: Failures itemised in a :class:`RunFailedError` message.  Every
+#: failure is still carried on ``.failures``; only the rendered text
+#: is capped, so a 10^5-cell campaign's error stays readable.
+MAX_REPORTED_FAILURES = 10
+
+
 class RunFailedError(RuntimeError):
     """A batch contained tasks that failed after all retries."""
 
@@ -125,8 +131,13 @@ class RunFailedError(RuntimeError):
         lines = "\n".join(
             f"  seed={f.config.seed} proto={f.config.protocol} "
             f"attempts={f.attempts}: {f.error}"
-            for f in failures
+            for f in failures[:MAX_REPORTED_FAILURES]
         )
+        if len(failures) > MAX_REPORTED_FAILURES:
+            lines += (
+                f"\n  ... and {len(failures) - MAX_REPORTED_FAILURES} more "
+                f"(all {len(failures)} on this exception's .failures)"
+            )
         super().__init__(
             f"{len(failures)} run(s) failed after retries:\n{lines}"
         )
@@ -232,13 +243,19 @@ class ExperimentExecutor:
     def close(self) -> None:
         """Shut down the worker pool (idempotent).
 
-        Safe to call repeatedly and safe on a pool whose workers died:
-        shutdown errors on an already-broken pool are swallowed.
+        Pending (not-yet-started) futures are cancelled rather than
+        drained, so closing an executor mid-batch — e.g. a context
+        manager unwinding through an exception raised while a
+        supervised batch is in flight — waits only for the runs
+        already on a worker instead of the whole queue, and the pool's
+        processes are reaped rather than leaked.  Safe to call
+        repeatedly and safe on a pool whose workers died: shutdown
+        errors on an already-broken pool are swallowed.
         """
         self._closed = True
         if self._pool is not None:
             try:
-                self._pool.shutdown()
+                self._pool.shutdown(wait=True, cancel_futures=True)
             except Exception:  # pragma: no cover - broken-pool teardown
                 pass
             self._pool = None
@@ -692,6 +709,7 @@ __all__ = [
     "BatchHandle",
     "ExperimentExecutor",
     "FailedRun",
+    "MAX_REPORTED_FAILURES",
     "RunFailedError",
     "TaskBatch",
     "default_workers",

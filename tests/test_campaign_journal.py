@@ -1,0 +1,281 @@
+"""Journal record encode/decode, truncated-tail recovery, repair, and
+streaming-aggregator determinism — the durability half of the campaign
+layer's crash-safety contract."""
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given, settings as hyp_settings, strategies as st
+
+from repro.experiments.campaign.journal import (
+    CampaignAggregator,
+    JournalCorruptError,
+    JournalRecordError,
+    JournalWriter,
+    METRIC_FIELDS,
+    decode_record,
+    encode_record,
+    read_journal,
+    repair_journal,
+)
+
+
+def run_record(fp, group="g", seed=1, status="ok", **metrics):
+    rec = {
+        "kind": "run", "fp": fp, "cell": f"{group}/seed={seed}",
+        "group": group, "seed": seed, "status": status,
+    }
+    if status == "ok":
+        rec["metrics"] = {"avg_throughput_bps": 1.0e6, **metrics}
+    else:
+        rec["error"] = "boom"
+        rec["attempts"] = 2
+    return rec
+
+
+# ----------------------------------------------------------------------
+# Record codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_round_trip(self):
+        rec = run_record("abc123", metrics=3.5)
+        assert decode_record(encode_record(rec)) == rec
+
+    def test_line_is_single_line_sorted_keys(self):
+        line = encode_record({"b": 1, "a": 2})
+        assert "\n" not in line
+        checksum, payload = line.split(" ", 1)
+        assert len(checksum) == 8
+        assert payload == '{"a":2,"b":1}'
+
+    @pytest.mark.parametrize("line", [
+        "",                                 # empty
+        "deadbeef",                         # no separator
+        "xyz {}",                           # short checksum field
+        "nothexno {}",                      # non-hex checksum
+        "00000000 {}",                      # wrong checksum
+        encode_record({"a": 1})[:-2],       # torn payload
+        encode_record({"a": 1}).replace('"a"', '"b"'),  # flipped byte
+        f"{zlib.crc32(b'[1,2]') & 0xFFFFFFFF:08x} [1,2]",  # not an object
+        f"{zlib.crc32(b'nope') & 0xFFFFFFFF:08x} nope",    # not JSON
+    ])
+    def test_bad_lines_rejected(self, line):
+        with pytest.raises(JournalRecordError):
+            decode_record(line)
+
+    @given(st.dictionaries(
+        st.text(min_size=1, max_size=8),
+        st.one_of(
+            st.integers(-(10 ** 12), 10 ** 12),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+            st.none(),
+            st.booleans(),
+        ),
+        max_size=6,
+    ))
+    @hyp_settings(max_examples=100, deadline=None)
+    def test_encode_decode_round_trips(self, record):
+        assert decode_record(encode_record(record)) == record
+
+
+# ----------------------------------------------------------------------
+# File-level replay
+# ----------------------------------------------------------------------
+class TestReadJournal:
+    def write(self, path, records):
+        with JournalWriter(path) as writer:
+            for rec in records:
+                writer.append(rec)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.touch()
+        result = read_journal(path)
+        assert result.records == [] and not result.truncated
+
+    def test_replay_preserves_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        records = [run_record(f"fp{i}", seed=i) for i in range(5)]
+        self.write(path, records)
+        result = read_journal(path)
+        assert result.records == records
+        assert not result.truncated
+        assert result.valid_bytes == path.stat().st_size
+        assert not result.needs_newline
+
+    def test_unterminated_tail_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write(path, [run_record("fp0"), run_record("fp1")])
+        good_size = path.stat().st_size
+        with path.open("ab") as fh:  # torn write: no newline
+            fh.write(encode_record(run_record("fp2")).encode()[:25])
+        result = read_journal(path)
+        assert [r["fp"] for r in result.records] == ["fp0", "fp1"]
+        assert result.truncated
+        assert result.valid_bytes == good_size
+
+    def test_tail_missing_only_newline_is_kept(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write(path, [run_record("fp0")])
+        with path.open("ab") as fh:
+            fh.write(encode_record(run_record("fp1")).encode())
+        result = read_journal(path)
+        assert [r["fp"] for r in result.records] == ["fp0", "fp1"]
+        assert not result.truncated
+        assert result.needs_newline
+        assert result.valid_bytes == path.stat().st_size
+
+    def test_terminated_bad_final_line_tolerated(self, tmp_path):
+        # A torn payload that still got its newline (buffered write cut
+        # mid-flush) must also count as a tail casualty, not corruption.
+        path = tmp_path / "j.jsonl"
+        self.write(path, [run_record("fp0")])
+        good_size = path.stat().st_size
+        with path.open("ab") as fh:
+            fh.write(encode_record(run_record("fp1")).encode()[:30] + b"\n")
+        result = read_journal(path)
+        assert [r["fp"] for r in result.records] == ["fp0"]
+        assert result.truncated
+        assert result.valid_bytes == good_size
+
+    def test_non_utf8_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write(path, [run_record("fp0")])
+        with path.open("ab") as fh:
+            fh.write(b"\xff\xfe garbage")
+        result = read_journal(path)
+        assert [r["fp"] for r in result.records] == ["fp0"]
+        assert result.truncated
+
+    def test_mid_file_damage_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self.write(path, [run_record(f"fp{i}") for i in range(3)])
+        data = path.read_bytes()
+        # flip a byte inside the FIRST record's payload
+        path.write_bytes(data[:20] + b"X" + data[21:])
+        with pytest.raises(JournalCorruptError, match="record 1"):
+            read_journal(path)
+
+    @given(
+        records=st.lists(
+            st.dictionaries(
+                st.sampled_from(["kind", "fp", "status", "n"]),
+                st.one_of(st.integers(0, 99), st.text(max_size=8)),
+                min_size=1, max_size=3,
+            ),
+            min_size=1, max_size=6,
+        ),
+        cut=st.integers(1, 40),
+    )
+    @hyp_settings(max_examples=60, deadline=None)
+    def test_any_tail_cut_recovers_prefix(self, tmp_path_factory,
+                                          records, cut):
+        """SIGKILL model: cut N bytes off the end — the journal must
+        replay a clean prefix, never raise, never invent records."""
+        path = tmp_path_factory.mktemp("j") / "j.jsonl"
+        with JournalWriter(path) as writer:
+            for rec in records:
+                writer.append(rec)
+        data = path.read_bytes()
+        cut = min(cut, len(data) - 1)
+        kept = data[:len(data) - cut]
+        path.write_bytes(kept)
+        result = read_journal(path)
+        assert result.records == records[:len(result.records)]
+        # every line the cut left intact must be recovered; the torn
+        # tail may add one more if it happens to decode
+        n_intact = kept.count(b"\n")
+        assert n_intact <= len(result.records) <= n_intact + 1
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+class TestRepair:
+    def test_noop_on_clean_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append(run_record("fp0"))
+        before = path.read_bytes()
+        assert repair_journal(path, read_journal(path)) is False
+        assert path.read_bytes() == before
+
+    def test_truncates_torn_tail_then_appendable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JournalWriter(path) as writer:
+            writer.append(run_record("fp0"))
+        with path.open("ab") as fh:
+            fh.write(b'00000000 {"torn')
+        assert repair_journal(path, read_journal(path)) is True
+        # append after repair must yield a fully clean journal
+        with JournalWriter(path) as writer:
+            writer.append(run_record("fp1"))
+        result = read_journal(path)
+        assert [r["fp"] for r in result.records] == ["fp0", "fp1"]
+        assert not result.truncated
+
+    def test_restores_missing_newline(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with path.open("ab") as fh:
+            fh.write(encode_record(run_record("fp0")).encode())
+        assert repair_journal(path, read_journal(path)) is True
+        assert path.read_bytes().endswith(b"\n")
+        with JournalWriter(path) as writer:
+            writer.append(run_record("fp1"))
+        assert [r["fp"] for r in read_journal(path).records] == \
+            ["fp0", "fp1"]
+
+
+# ----------------------------------------------------------------------
+# Writer durability + aggregator determinism
+# ----------------------------------------------------------------------
+class TestWriterAndAggregator:
+    def test_writer_appends_are_immediately_durable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        writer = JournalWriter(path)
+        try:
+            writer.append(run_record("fp0"))
+            # visible to an independent reader before close()
+            assert len(read_journal(path).records) == 1
+        finally:
+            writer.close()
+        with pytest.raises(Exception):
+            writer.append(run_record("fp1"))
+
+    def test_aggregator_counts_and_metrics(self):
+        agg = CampaignAggregator()
+        for i, value in enumerate([1.0, 2.0, 3.0]):
+            agg.add(run_record(f"fp{i}", group="a",
+                               avg_throughput_bps=value))
+        agg.add(run_record("fp3", group="a", status="failed"))
+        agg.add(run_record("fp4", group="b", status="quarantined"))
+        agg.add({"kind": "campaign", "spec": "ignored"})
+        assert (agg.ok, agg.failed, agg.quarantined) == (3, 1, 1)
+        assert agg.settled == 5
+        groups = agg.groups()
+        assert list(groups) == ["a", "b"]
+        stats = groups["a"]["metrics"]["avg_throughput_bps"]
+        assert stats["n"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["ci95"] > 0.0
+
+    def test_aggregation_is_bit_deterministic(self):
+        records = [
+            run_record(f"fp{i}", group=f"g{i % 3}",
+                       avg_throughput_bps=1e6 / (i + 1))
+            for i in range(50)
+        ]
+
+        def summarize():
+            agg = CampaignAggregator()
+            for rec in records:
+                agg.add(rec)
+            return json.dumps(agg.groups(), sort_keys=True)
+
+        assert summarize() == summarize()
+
+    def test_metric_fields_cover_ok_records(self):
+        rec = run_record("fp0")
+        assert set(rec["metrics"]) <= set(METRIC_FIELDS)

@@ -92,6 +92,12 @@ def run_data(result):
     return (result.throughputs(), result.events_processed)
 
 
+def sleep_task(seconds):
+    """Module-level so the worker pool can unpickle it."""
+    time.sleep(seconds)
+    return seconds
+
+
 # ----------------------------------------------------------------------
 # Kernel watchdog
 # ----------------------------------------------------------------------
@@ -293,6 +299,54 @@ class TestLifecycle:
     def test_invalid_on_failure_rejected(self):
         with pytest.raises(ValueError, match="on_failure"):
             ExperimentExecutor(workers=1, on_failure="ignore")
+
+    def test_close_mid_batch_cancels_pending_and_reaps_pool(self):
+        """close() during in-flight work must not drain the whole queue.
+
+        Regression test: a single-worker pool is loaded with six
+        0.5 s tasks; close() may wait for the one already running but
+        must cancel the rest instead of executing them (which would
+        block ~3 s and, for a real interrupted sweep, arbitrarily
+        long), and must leave no live pool behind.
+        """
+        ex = ExperimentExecutor(workers=1)
+        pool = ex._ensure_pool()
+        futures = [pool.submit(sleep_task, 0.5) for _ in range(6)]
+        time.sleep(0.1)  # let the first task reach a worker
+        start = time.monotonic()
+        ex.close()
+        elapsed = time.monotonic() - start
+        assert elapsed < 1.5, (
+            f"close() took {elapsed:.2f}s — pending futures were drained "
+            "instead of cancelled"
+        )
+        assert sum(1 for f in futures if f.cancelled()) >= 4
+        assert ex._pool is None
+        with pytest.raises(RuntimeError):
+            ex.run([config()])
+
+    def test_run_failed_error_message_is_capped(self):
+        from repro.experiments.executor import MAX_REPORTED_FAILURES
+
+        failures = [
+            FailedRun(config=config(seed=s), error=f"boom {s}", attempts=3)
+            for s in range(25)
+        ]
+        err = RunFailedError(failures)
+        message = str(err)
+        assert "25 run(s) failed" in message
+        assert message.count("attempts=") == MAX_REPORTED_FAILURES
+        assert f"... and {25 - MAX_REPORTED_FAILURES} more" in message
+        assert err.failures == failures  # nothing lost, only the text
+
+    def test_run_failed_error_small_batch_uncapped(self):
+        failures = [
+            FailedRun(config=config(seed=s), error="boom", attempts=1)
+            for s in range(3)
+        ]
+        message = str(RunFailedError(failures))
+        assert message.count("attempts=") == 3
+        assert "more" not in message
 
 
 # ----------------------------------------------------------------------
