@@ -84,7 +84,7 @@ def _time_campaign_machinery(out_dir, cells, metric_rows):
     from repro.experiments.campaign.orchestrator import (
         DEFAULT_CHUNK_SIZE,
         _fingerprint_cells,
-        _write_summary,
+        write_summary,
     )
 
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -107,10 +107,10 @@ def _time_campaign_machinery(out_dir, cells, metric_rows):
                 writer.append(record, sync=False)
                 aggregator.add(record)
             writer.sync()
-            _write_summary(summary_path, "bench", (0, 1),
-                           len(fingerprinted), duplicates, aggregator)
-    _write_summary(summary_path, "bench", (0, 1), len(fingerprinted),
-                   duplicates, aggregator)
+            write_summary(summary_path, "bench", (0, 1),
+                          len(fingerprinted), duplicates, aggregator)
+    write_summary(summary_path, "bench", (0, 1), len(fingerprinted),
+                  duplicates, aggregator)
     return time.perf_counter() - start
 
 

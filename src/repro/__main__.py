@@ -58,6 +58,31 @@ command exits with status 3 so scripts notice the degradation.
     but some cells failed or were quarantined; 4 — interrupted by
     SIGINT/SIGTERM after draining in-flight work (resumable).
 
+``campaign merge``
+    Combine shard journals of one campaign into a single directory
+    whose ``summary.json`` is byte-identical to an unsharded run's
+    (see :mod:`repro.experiments.campaign.analysis`)::
+
+        python -m repro campaign merge shard0 shard1 shard2 --out merged.out
+
+    Malformed records are skipped and counted, never fatal; an
+    incomplete merge stays resumable with ``campaign --resume``.
+    Exit codes: 0 — complete, all ok; 2 — unmergeable input; 3 —
+    merged but incomplete, degraded, or with skipped records.
+
+``campaign report``
+    Journal-driven figures and cross-seed diagnostics from a merged
+    (or unsharded) campaign directory — no re-simulation::
+
+        python -m repro campaign report --dir merged.out
+        python -m repro campaign report --dir merged.out fig6 fig7 --plot
+        python -m repro campaign report --dir merged.out fig6 --save report.out
+
+    Exit codes mirror ``figures``: 0 — clean; 2 — bad usage or an
+    explicitly requested figure the dataset cannot satisfy; 3 —
+    report produced but degraded (missing cells, failed runs or
+    skipped records).
+
 ``theory``
     Print the Bianchi saturation predictions next to simulated values
     for a sweep of network sizes (substrate validation).
@@ -299,6 +324,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import (
         CampaignError,
         CampaignSpecError,
+        JournalError,
         expand_cells,
         format_campaign,
         parse_campaign,
@@ -349,7 +375,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             chunk_size=args.chunk, workers=args.workers,
             progress=None if args.quiet else sys.stderr,
         )
-    except (CampaignError, CampaignSpecError) as exc:
+    except (CampaignError, CampaignSpecError, JournalError) as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     status = ("interrupted (resumable)" if report.interrupted
@@ -367,6 +393,149 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"  resume with: python -m repro campaign '...' "
               f"--resume {report.out_dir}")
     return report.exit_code
+
+
+def _cmd_campaign_merge(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import AnalysisError, merge_journals
+
+    try:
+        result = merge_journals(
+            args.shards, args.out, force=args.force,
+            progress=None if args.quiet else sys.stderr,
+        )
+    except AnalysisError as exc:
+        print(f"merge error: {exc}", file=sys.stderr)
+        return 2
+    shard_list = ", ".join(
+        f"{info.shard} ({info.records})" for info in result.shards
+    )
+    status = "complete" if result.complete else \
+        f"incomplete ({len(result.missing)} cell(s) missing)"
+    print(
+        f"merged {len(result.shards)} shard(s) [{shard_list}] -> "
+        f"{result.out_dir}: {status}; {result.settled}/{result.cells} "
+        f"cell(s) settled (ok={result.ok} failed={result.failed} "
+        f"quarantined={result.quarantined})"
+    )
+    if result.duplicate_records:
+        print(f"  {result.duplicate_records} duplicate record(s) dropped "
+              "(first occurrence kept)")
+    if result.skipped:
+        print(f"  {len(result.skipped)} malformed record(s) skipped "
+              "(details on stderr)" if not args.quiet else
+              f"  {len(result.skipped)} malformed record(s) skipped")
+    print(f"  journal: {result.journal_path}")
+    print(f"  summary: {result.summary_path}")
+    if not result.complete:
+        print(f"  finish with: python -m repro campaign '...' "
+              f"--resume {result.out_dir}")
+    clean = (result.complete and not result.skipped
+             and result.failed == 0 and result.quarantined == 0)
+    return 0 if clean else 3
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.experiments.campaign import (
+        AnalysisError,
+        JOURNAL_FIGURES,
+        ReportError,
+        figure_from_dataset,
+        group_diagnostics,
+        load_dataset,
+        render_diagnostics,
+    )
+    from repro.experiments.report import render_table, to_json
+
+    try:
+        dataset = load_dataset(args.dir)
+    except AnalysisError as exc:
+        print(f"report error: {exc}", file=sys.stderr)
+        return 2
+
+    explicit = bool(args.ids)
+    wanted = args.ids or sorted(JOURNAL_FIGURES)
+    unknown = [fid for fid in wanted if fid not in JOURNAL_FIGURES]
+    if unknown:
+        print(
+            f"no journal-driven builder for: {', '.join(unknown)}\n"
+            f"available: {', '.join(sorted(JOURNAL_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    save_dir = pathlib.Path(args.save) if args.save else None
+    if save_dir is not None:
+        save_dir.mkdir(parents=True, exist_ok=True)
+    figures = {}
+    for fid in wanted:
+        try:
+            figures[fid] = figure_from_dataset(dataset, fid)
+        except ReportError as exc:
+            if explicit:
+                print(f"report error: {exc}", file=sys.stderr)
+                return 2
+            print(f"skipping {fid}: {exc}", file=sys.stderr)
+    if not figures:
+        print("no requested figure is satisfiable from this dataset",
+              file=sys.stderr)
+        return 2
+
+    for fid, fig in figures.items():
+        print(render_table(fig))
+        if args.plot:
+            from repro.experiments.plots import print_plot
+
+            print()
+            print_plot(fig)
+        print()
+        if save_dir is not None:
+            (save_dir / f"{fid}.txt").write_text(
+                render_table(fig) + "\n", encoding="utf-8"
+            )
+            (save_dir / f"{fid}.json").write_text(
+                to_json(fig) + "\n", encoding="utf-8"
+            )
+
+    diagnostics_text = None
+    if not args.no_diagnostics:
+        metrics = (
+            [m.strip() for m in args.metrics.split(",") if m.strip()]
+            if args.metrics else None
+        )
+        try:
+            diagnostics = group_diagnostics(
+                dataset, metrics=metrics, target_rel=args.target_ci / 100.0
+            )
+        except AnalysisError as exc:
+            print(f"report error: {exc}", file=sys.stderr)
+            return 2
+        diagnostics_text = render_diagnostics(
+            diagnostics, target_rel=args.target_ci / 100.0
+        )
+        print(diagnostics_text)
+        if save_dir is not None:
+            (save_dir / "diagnostics.txt").write_text(
+                diagnostics_text + "\n", encoding="utf-8"
+            )
+
+    problems = []
+    if dataset.missing:
+        problems.append(f"{len(dataset.missing)} cell(s) missing from the "
+                        "journal (merge more shards or --resume)")
+    if dataset.skipped:
+        problems.append(f"{len(dataset.skipped)} malformed record(s) skipped")
+    degraded = [fid for fid, fig in figures.items() if fig.has_failures]
+    if degraded:
+        problems.append(
+            f"figure(s) degraded by failed runs: {', '.join(degraded)}"
+        )
+    if problems:
+        for problem in problems:
+            print(f"warning: {problem}", file=sys.stderr)
+        return 3
+    return 0
 
 
 def _cmd_theory(args: argparse.Namespace) -> int:
@@ -476,12 +645,63 @@ def main(argv: list[str] | None = None) -> int:
                         help="suppress per-chunk progress on stderr")
     p_camp.set_defaults(func=_cmd_campaign)
 
+    # "campaign merge"/"campaign report" are routed here by main()'s
+    # argv rewrite; the hyphenated names keep the plain "campaign SPEC"
+    # positional grammar intact.
+    p_merge = sub.add_parser(
+        "campaign-merge",
+        help="merge shard journals into one campaign directory",
+    )
+    p_merge.add_argument("shards", nargs="+", metavar="SHARD",
+                         help="shard campaign directories (or journal "
+                              "files) of one campaign")
+    p_merge.add_argument("--out", default="merged.out",
+                         help="merged campaign directory "
+                              "(default: merged.out)")
+    p_merge.add_argument("--force", action="store_true",
+                         help="overwrite an existing merged journal")
+    p_merge.add_argument("--quiet", action="store_true",
+                         help="suppress per-record skip notes on stderr")
+    p_merge.set_defaults(func=_cmd_campaign_merge)
+
+    p_report = sub.add_parser(
+        "campaign-report",
+        help="journal-driven figures + cross-seed diagnostics",
+    )
+    p_report.add_argument("ids", nargs="*",
+                          help="figure ids (default: every satisfiable "
+                               "journal-driven figure)")
+    p_report.add_argument("--dir", default="campaign.out",
+                          help="campaign directory to report on "
+                               "(default: campaign.out)")
+    p_report.add_argument("--plot", action="store_true",
+                          help="also draw ASCII charts")
+    p_report.add_argument("--save", default=None, metavar="DIR",
+                          help="also write FIG.txt/FIG.json and "
+                               "diagnostics.txt into DIR")
+    p_report.add_argument("--no-diagnostics", action="store_true",
+                          help="skip the cross-seed diagnostics table")
+    p_report.add_argument("--metrics", default=None,
+                          help="comma-separated metric names to diagnose "
+                               "(default: all journal metrics)")
+    p_report.add_argument("--target-ci", type=float, default=5.0,
+                          metavar="PCT",
+                          help="seeds-needed target: 95%% CI half-width "
+                               "as %% of the mean (default: 5)")
+    p_report.set_defaults(func=_cmd_campaign_report)
+
     p_theory = sub.add_parser("theory", help="Bianchi model vs simulator")
     p_theory.add_argument("--sizes", type=int, nargs="+",
                           default=[1, 2, 4, 8, 16])
     p_theory.add_argument("--seconds", type=float, default=2.0)
     p_theory.set_defaults(func=_cmd_theory)
 
+    if argv is None:
+        argv = sys.argv[1:]
+    if len(argv) >= 2 and argv[0] == "campaign" and argv[1] in (
+        "merge", "report",
+    ):
+        argv = [f"campaign-{argv[1]}", *argv[2:]]
     args = parser.parse_args(argv)
     return args.func(args)
 

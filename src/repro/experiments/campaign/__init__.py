@@ -9,13 +9,29 @@ Three layers, one durability contract:
   fsync'd, checksummed run journal plus the streaming aggregator;
 * :mod:`repro.experiments.campaign.orchestrator` — chunked execution
   on :class:`~repro.experiments.executor.ExperimentExecutor`,
-  exactly-once resume (``--resume``), graceful SIGINT/SIGTERM drain.
+  exactly-once resume (``--resume``), graceful SIGINT/SIGTERM drain;
+* :mod:`repro.experiments.campaign.analysis` — shard-journal merging
+  (summary byte-identical to an unsharded run), the journal -> dataset
+  loader, cross-seed diagnostics, and journal-driven figure builders.
 
-``python -m repro campaign`` is the CLI face; ``docs/CAMPAIGNS.md``
-documents the grammar, journal format, resume semantics and exit
-codes.
+``python -m repro campaign`` (plus ``campaign merge`` and ``campaign
+report``) is the CLI face; ``docs/CAMPAIGNS.md`` documents the
+grammar, journal format, resume semantics and exit codes.
 """
 
+from repro.experiments.campaign.analysis import (
+    AnalysisError,
+    CampaignDataset,
+    JOURNAL_FIGURES,
+    MergeResult,
+    ReportError,
+    figure_from_dataset,
+    group_diagnostics,
+    load_dataset,
+    merge_journals,
+    render_diagnostics,
+    seeds_for_relative_ci,
+)
 from repro.experiments.campaign.journal import (
     CampaignAggregator,
     JournalCorruptError,
@@ -38,6 +54,7 @@ from repro.experiments.campaign.orchestrator import (
     SUMMARY_NAME,
     run_campaign,
     run_cells,
+    write_summary,
 )
 from repro.experiments.campaign.spec import (
     CampaignCell,
@@ -51,8 +68,10 @@ from repro.experiments.campaign.spec import (
 )
 
 __all__ = [
+    "AnalysisError",
     "CampaignAggregator",
     "CampaignCell",
+    "CampaignDataset",
     "CampaignError",
     "CampaignReport",
     "CampaignSpec",
@@ -60,22 +79,32 @@ __all__ = [
     "EXIT_FAILED_CELLS",
     "EXIT_INTERRUPTED",
     "EXIT_OK",
+    "JOURNAL_FIGURES",
     "JOURNAL_NAME",
     "JournalCorruptError",
     "JournalError",
     "JournalRecordError",
     "JournalWriter",
     "METRIC_FIELDS",
+    "MergeResult",
+    "ReportError",
     "ScenarioAxis",
     "SUMMARY_NAME",
     "decode_record",
     "encode_record",
     "expand_cells",
+    "figure_from_dataset",
     "format_campaign",
+    "group_diagnostics",
+    "load_dataset",
+    "merge_journals",
     "parse_campaign",
     "read_journal",
+    "render_diagnostics",
     "repair_journal",
     "run_campaign",
     "run_cells",
+    "seeds_for_relative_ci",
     "shard_cells",
+    "write_summary",
 ]

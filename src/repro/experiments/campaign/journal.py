@@ -47,6 +47,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, IO, List, Optional, Tuple
 
+from repro.metrics.stats import t_critical
+
 #: Journal schema version (bump on incompatible record changes).
 JOURNAL_SCHEMA = 1
 
@@ -70,7 +72,8 @@ class JournalError(RuntimeError):
 
 
 class JournalRecordError(JournalError):
-    """One journal line failed its checksum or did not parse."""
+    """One journal record is bad: failed its checksum, did not parse,
+    or (though checksum-valid) is missing fields this schema requires."""
 
 
 class JournalCorruptError(JournalError):
@@ -265,7 +268,7 @@ class _MetricAccumulator:
         if self.n < 2:
             return {"mean": self.mean, "ci95": 0.0, "n": self.n}
         variance = self.m2 / (self.n - 1)
-        ci95 = 1.96 * (variance ** 0.5) / (self.n ** 0.5)
+        ci95 = t_critical(self.n - 1) * (variance ** 0.5) / (self.n ** 0.5)
         return {"mean": self.mean, "ci95": ci95, "n": self.n}
 
 
@@ -293,9 +296,28 @@ class CampaignAggregator:
         self.failed = 0
         self.quarantined = 0
 
-    def add(self, record: dict) -> None:
+    def add(self, record: dict, offset: Optional[int] = None) -> None:
+        """Fold one journal record into the aggregates.
+
+        ``offset`` (the record's 1-based position in its journal, when
+        the caller knows it) is woven into the error message of a
+        schema-invalid record.  A checksum-valid ``run`` record missing
+        its ``group`` or ``status`` — typically a journal written by a
+        different schema version — raises :class:`JournalRecordError`
+        rather than a bare ``KeyError``, so callers can skip-and-count
+        (the merge path) or abort with a message naming the record.
+        """
         if record.get("kind") != "run":
             return
+        where = f" at record {offset}" if offset is not None else ""
+        for field_name in ("group", "status"):
+            if not isinstance(record.get(field_name), str):
+                raise JournalRecordError(
+                    f"run record{where} has no {field_name!r} field "
+                    f"(cell {record.get('cell', '?')!r}); the journal was "
+                    f"likely written by an incompatible schema (this code "
+                    f"writes schema {JOURNAL_SCHEMA})"
+                )
         group = self._groups.setdefault(record["group"], _GroupAggregate())
         status = record["status"]
         if status == "ok":

@@ -202,7 +202,7 @@ def _run_record(fingerprint: str, cell: CampaignCell, outcome) -> dict:
     }
 
 
-def _write_summary(
+def write_summary(
     path: pathlib.Path,
     spec_text: str,
     shard: Tuple[int, int],
@@ -215,7 +215,11 @@ def _write_summary(
     Deliberately contains no timestamps, wall times or hostnames: the
     summary is a pure function of the settled record sequence, which
     is what makes the interrupted-vs-uninterrupted bit-identity
-    checkable (and checked) byte for byte.
+    checkable (and checked) byte for byte.  The merge path
+    (:func:`repro.experiments.campaign.analysis.merge_journals`) writes
+    its summary through this same function, which is what makes a
+    merged N-shard campaign's summary byte-identical to an unsharded
+    run's.
     """
     summary = {
         "schema": 1,
@@ -260,7 +264,7 @@ def _replay_journal(
     # away before this process appends, or the new record would fuse
     # onto the torn bytes and corrupt the journal for good.
     repair_journal(journal_path, result)
-    for record in result.records:
+    for position, record in enumerate(result.records, start=1):
         kind = record.get("kind")
         if kind == "campaign":
             if record.get("spec") != spec_text:
@@ -294,7 +298,7 @@ def _replay_journal(
             # first record, like the aggregator saw it first.
             continue
         settled[fingerprint] = record
-        aggregator.add(record)
+        aggregator.add(record, offset=position)
     return settled, has_header, result.truncated
 
 
@@ -380,7 +384,7 @@ def run_cells(
                     settled[fingerprint] = record
                     aggregator.add(record)
                 writer.sync()  # one fsync per chunk, not per run
-                _write_summary(
+                write_summary(
                     out_path / SUMMARY_NAME, spec_text, shard,
                     total_cells, duplicates, aggregator,
                 )
@@ -394,7 +398,7 @@ def run_cells(
                     )
             else:
                 interrupted = drain.stop and aggregator.settled < total_cells
-        _write_summary(
+        write_summary(
             out_path / SUMMARY_NAME, spec_text, shard,
             total_cells, duplicates, aggregator,
         )
@@ -458,4 +462,5 @@ __all__ = [
     "SUMMARY_NAME",
     "run_campaign",
     "run_cells",
+    "write_summary",
 ]

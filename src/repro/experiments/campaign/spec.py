@@ -198,13 +198,21 @@ class CampaignCell:
 
     ``group`` is the cell key minus the seed — the unit the campaign
     aggregates means/CIs over; ``key`` adds the seed and names exactly
-    one run.
+    one run.  The remaining fields are the cell's grid coordinates,
+    recorded so the analysis layer can key datasets by typed axis
+    values instead of re-parsing group strings (they default to
+    "unknown" for hand-built cells fed to ``run_cells`` directly).
     """
 
     key: str
     group: str
     seed: int
     config: ScenarioConfig
+    axis: Optional[ScenarioAxis] = None
+    protocol: str = PROTOCOL_CORRECT
+    pm: float = 0.0
+    detector: Optional[str] = None
+    fault_spec: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -468,6 +476,11 @@ def expand_cells(spec: CampaignSpec) -> List[CampaignCell]:
                                     faults=faults,
                                     detector=detector,
                                 ),
+                                axis=axis,
+                                protocol=protocol,
+                                pm=pm,
+                                detector=detector,
+                                fault_spec=fault_spec,
                             ))
     return cells
 

@@ -64,9 +64,13 @@ def render_table(fig: FigureResult, precision: int = 1) -> str:
     for row in rows:
         lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
     if fig.has_failures:
+        # Any failure mark degrades its series: a None mark (every run
+        # of the series failed) and an x-valued mark (a point computed
+        # from a reduced seed set, the "*" cells) both belong in the
+        # legend — readers scanning only the note must see every series
+        # whose numbers are not the full-seed statistic.
         degraded_series = sorted(
-            name for name, marks in fig.failed_points.items()
-            if None in marks
+            name for name, marks in fig.failed_points.items() if marks
         )
         note = (
             "   FAILED: all runs of the point failed; "

@@ -1,8 +1,17 @@
 """Aggregation across seeded runs: means and confidence intervals.
 
 The paper averages every data point over 30 seeded runs.  These
-helpers compute the mean and a normal-approximation confidence
-interval without requiring scipy at runtime.
+helpers compute the mean and a Student-t confidence interval without
+requiring scipy at runtime: :func:`t_critical` carries a small lookup
+table of two-sided 95% critical values for the degrees of freedom that
+actually occur (interpolated in 1/df between table rows, falling back
+to the normal z beyond df=120).
+
+Small samples matter here.  The default evaluation scale uses 5 seeds,
+where the normal approximation z=1.96 understates the 95% half-width
+by ~42% (t(4, 0.975) = 2.776); every consumer — figure generation,
+campaign aggregation, the analysis pipeline — goes through
+:func:`t_critical` so all of them quote the same corrected interval.
 """
 
 from __future__ import annotations
@@ -10,6 +19,48 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
+
+#: Two-sided 95% Student-t critical values (the 0.975 quantile) by
+#: degrees of freedom.  df 1-30 are tabulated exactly; a few anchors
+#: cover the long tail before the normal limit takes over.
+_T95_TABLE = {
+    1: 12.7062, 2: 4.3027, 3: 3.1824, 4: 2.7764, 5: 2.5706,
+    6: 2.4469, 7: 2.3646, 8: 2.3060, 9: 2.2622, 10: 2.2281,
+    11: 2.2010, 12: 2.1788, 13: 2.1604, 14: 2.1448, 15: 2.1314,
+    16: 2.1199, 17: 2.1098, 18: 2.1009, 19: 2.0930, 20: 2.0860,
+    21: 2.0796, 22: 2.0739, 23: 2.0687, 24: 2.0639, 25: 2.0595,
+    26: 2.0555, 27: 2.0518, 28: 2.0484, 29: 2.0452, 30: 2.0423,
+    40: 2.0211, 60: 2.0003, 120: 1.9799,
+}
+
+#: Normal two-sided 95% critical value (the df -> infinity limit).
+Z95 = 1.9600
+
+#: Sorted anchor dfs above the exactly-tabulated range.
+_T95_ANCHORS = (30, 40, 60, 120)
+
+
+def t_critical(df: int) -> float:
+    """Two-sided 95% Student-t critical value for ``df`` degrees of freedom.
+
+    Exact table lookup for df <= 30, linear interpolation in 1/df
+    between the tabulated anchors up to df = 120 (the standard printed-
+    table rule, accurate to ~1e-3 here), and the normal z beyond.
+    Raises :class:`ValueError` for df < 1 — a one-point sample has no
+    interval.
+    """
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    if df in _T95_TABLE:
+        return _T95_TABLE[df]
+    if df > _T95_ANCHORS[-1]:
+        return Z95
+    for lo, hi in zip(_T95_ANCHORS, _T95_ANCHORS[1:]):  # pragma: no branch
+        if lo < df < hi:
+            t_lo, t_hi = _T95_TABLE[lo], _T95_TABLE[hi]
+            frac = (1.0 / lo - 1.0 / df) / (1.0 / lo - 1.0 / hi)
+            return t_lo + frac * (t_hi - t_lo)
+    raise AssertionError(f"unreachable df {df}")  # pragma: no cover
 
 
 @dataclass(frozen=True)
@@ -26,7 +77,7 @@ class Summary:
 
 
 def summarize(values: Iterable[float]) -> Summary:
-    """Summary statistics of a sample (95% normal CI).
+    """Summary statistics of a sample (95% Student-t CI).
 
     A single observation yields a zero-width interval rather than an
     error, since scaled-down bench runs may use one seed.
@@ -40,7 +91,7 @@ def summarize(values: Iterable[float]) -> Summary:
         return Summary(mean=mean, std=0.0, ci95=0.0, n=1)
     variance = sum((x - mean) ** 2 for x in data) / (n - 1)
     std = math.sqrt(variance)
-    ci95 = 1.96 * std / math.sqrt(n)
+    ci95 = t_critical(n - 1) * std / math.sqrt(n)
     return Summary(mean=mean, std=std, ci95=ci95, n=n)
 
 

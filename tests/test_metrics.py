@@ -1,10 +1,19 @@
 """Tests for metrics collection, fairness and cross-run statistics."""
 
+import math
+
 import pytest
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.fairness import jain_index
-from repro.metrics.stats import Summary, elementwise_mean, mean, summarize
+from repro.metrics.stats import (
+    Summary,
+    Z95,
+    elementwise_mean,
+    mean,
+    summarize,
+    t_critical,
+)
 
 
 class TestJainIndex:
@@ -149,3 +158,59 @@ class TestStats:
 
     def test_elementwise_mean_empty(self):
         assert elementwise_mean([]) == []
+
+
+class TestStudentT:
+    """Small-sample CIs must widen with the Student-t distribution.
+
+    The original code multiplied the standard error by the normal
+    z=1.96 for every n; at n=5 the correct t(4, 0.975)=2.776 makes the
+    interval ~42% wider, so the old intervals dramatically overstated
+    the confidence of few-seed sweeps.
+    """
+
+    def test_exact_table_values(self):
+        assert t_critical(1) == pytest.approx(12.7062)
+        assert t_critical(4) == pytest.approx(2.7764)
+        assert t_critical(29) == pytest.approx(2.0452)
+        assert t_critical(120) == pytest.approx(1.9799)
+
+    def test_interpolation_between_anchors(self):
+        # 50 sits between the 40 and 60 anchors; the 1/df-interpolated
+        # value must land strictly between them and near the true
+        # t(50, 0.975) = 2.0086.
+        t50 = t_critical(50)
+        assert t_critical(60) < t50 < t_critical(40)
+        assert t50 == pytest.approx(2.0086, abs=5e-3)
+
+    def test_large_df_converges_to_normal(self):
+        assert t_critical(121) == Z95
+        assert t_critical(10_000) == Z95
+
+    def test_monotonically_decreasing(self):
+        values = [t_critical(df) for df in range(1, 130)]
+        assert values == sorted(values, reverse=True)
+        assert all(v >= Z95 for v in values)
+
+    def test_invalid_df_rejected(self):
+        with pytest.raises(ValueError):
+            t_critical(0)
+        with pytest.raises(ValueError):
+            t_critical(-3)
+
+    def test_summarize_uses_student_t_not_z(self):
+        # Would fail before the fix: the n=5 interval used z=1.96,
+        # ~40% too narrow relative to t(4, 0.975)=2.7764.
+        values = [10.0, 12.0, 9.0, 14.0, 11.0]
+        s = summarize(values)
+        expected = 2.7764 * s.std / math.sqrt(5)
+        assert s.ci95 == pytest.approx(expected, rel=1e-6)
+        too_narrow = 1.96 * s.std / math.sqrt(5)
+        assert s.ci95 > too_narrow * 1.4
+
+    def test_summarize_two_samples(self):
+        # n=2 is the extreme case: t(1, 0.975) = 12.706 vs 1.96.
+        s = summarize([1.0, 3.0])
+        assert s.ci95 == pytest.approx(
+            12.7062 * s.std / math.sqrt(2), rel=1e-6
+        )
