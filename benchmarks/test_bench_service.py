@@ -1,0 +1,79 @@
+"""Sustained-throughput benchmark of the online detection service.
+
+Drives the Zipf load generator (:mod:`repro.service.loadgen`) through
+``DetectionService`` at the acceptance geometry — at least 100k
+distinct senders against an 8 x 10k-entry sharded LRU store — and
+appends sustained observations/sec plus p99 first-sight-to-flag
+latency to ``benchmarks/BENCH_service.json`` (same trajectory format
+as ``BENCH_engine.json``; see benchmarks/README.md).
+
+Correctness invariants (no honest sender flagged, cheaters flagged,
+distinct-sender floor, evictions actually exercised) are asserted on
+every run.  The obs/sec floor — the larger of the absolute 50k floor
+and the committed per-scale baseline minus tolerance — is enforced
+only under ``REPRO_BENCH_GATE`` so noisy developer machines don't
+flake; ``REPRO_BENCH_REBASE`` re-pins the baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from datetime import datetime, timezone
+
+from repro.service.loadgen import (
+    ABSOLUTE_FLOOR_OBS_PER_SEC,
+    BENCH_SCALES,
+    REGRESSION_TOLERANCE,
+    append_trajectory,
+    run_bench,
+)
+
+TRAJECTORY_PATH = pathlib.Path(__file__).parent / "BENCH_service.json"
+
+
+def _scale() -> str:
+    if os.environ.get("REPRO_QUICK"):
+        return "quick"
+    if os.environ.get("REPRO_FULL"):
+        return "full"
+    return "bench"
+
+
+def test_service_sustained_throughput():
+    scale = _scale()
+    config = BENCH_SCALES[scale]
+    result = run_bench(config)  # asserts no honest sender flagged
+
+    # The acceptance geometry, checked at every scale on every run.
+    assert result.distinct_senders >= 100_000, (
+        f"only {result.distinct_senders:,} distinct senders; the bench "
+        f"must churn >= 100k keys to exercise the LRU budget"
+    )
+    assert result.evictions > 0, (
+        "no evictions: the stream never exceeded the per-shard entry "
+        "budget, so bounded memory was not exercised"
+    )
+    assert result.flagged > 0
+    assert result.p99_flag_latency_s is not None
+
+    record = result.to_record()
+    record["utc"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    record["scale"] = scale
+    baseline = append_trajectory(
+        TRAJECTORY_PATH, scale, record,
+        rebase=bool(os.environ.get("REPRO_BENCH_REBASE")),
+    )
+
+    if os.environ.get("REPRO_BENCH_GATE"):
+        floor = max(
+            ABSOLUTE_FLOOR_OBS_PER_SEC,
+            baseline["obs_per_sec"] * (1.0 - REGRESSION_TOLERANCE),
+        )
+        assert record["obs_per_sec"] >= floor, (
+            f"service ingest regression: {record['obs_per_sec']:,.0f} "
+            f"obs/sec is below the gate floor {floor:,.0f} "
+            f"(absolute floor {ABSOLUTE_FLOOR_OBS_PER_SEC:,}, baseline "
+            f"{baseline['obs_per_sec']:,} minus "
+            f"{REGRESSION_TOLERANCE:.0%} tolerance)"
+        )

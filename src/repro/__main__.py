@@ -83,6 +83,26 @@ command exits with status 3 so scripts notice the degradation.
     report produced but degraded (missing cells, failed runs or
     skipped records).
 
+``serve``
+    Online detection service (see :mod:`repro.service` and
+    ``docs/SERVICE.md``): host any registered detector family as a
+    long-running process with JSONL observation ingest (stdin/TCP),
+    sharded LRU-bounded per-sender state, and an HTTP query API
+    (``/verdicts``, ``/senders/<id>``, ``/stats``, long-poll
+    ``/watch``)::
+
+        python -m repro serve --emit-trace --pm 60 --seconds 2 > trace.jsonl
+        python -m repro serve --stdin --port 8765 < trace.jsonl
+        python -m repro serve --tcp 9000 --port 8765 --detector cusum:h=2.0
+        python -m repro serve --bench
+
+    ``--emit-trace`` records a simulation's judged-observation stream
+    as wire JSONL (the service replays it to verdicts bit-identical
+    to the in-sim monitor's).  ``--bench`` runs the Zipf load
+    generator against the ingest hot path and appends sustained
+    observations/sec and p99 first-sight-to-flag latency to
+    ``benchmarks/BENCH_service.json``.
+
 ``theory``
     Print the Bianchi saturation predictions next to simulated values
     for a sweep of network sizes (substrate validation).
@@ -454,6 +474,13 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         print(f"report error: {exc}", file=sys.stderr)
         return 2
 
+    if args.csv:
+        from repro.experiments.campaign import export_csv
+
+        rows = export_csv(dataset, args.csv)
+        print(f"wrote {rows} row(s) x {len(dataset.columns)} column(s) "
+              f"to {args.csv}", file=sys.stderr)
+
     explicit = bool(args.ids)
     wanted = args.ids or sorted(JOURNAL_FIGURES)
     unknown = [fid for fid in wanted if fid not in JOURNAL_FIGURES]
@@ -535,6 +562,167 @@ def _cmd_campaign_report(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"warning: {problem}", file=sys.stderr)
         return 3
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.detect import DetectorSpecError, parse_spec
+
+    try:
+        parse_spec(args.detector)
+    except DetectorSpecError as exc:
+        print(f"bad --detector spec: {exc}", file=sys.stderr)
+        return 2
+
+    if args.emit_trace:
+        return _serve_emit_trace(args)
+    if args.bench:
+        return _serve_bench(args)
+    return _serve_forever(args)
+
+
+def _service_geometry(args) -> tuple[int, int]:
+    """(shards, per-shard entries) from flags, env knobs, defaults."""
+    from repro.experiments.settings import (
+        service_shard_entries,
+        service_shards,
+    )
+    from repro.service.store import DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS
+
+    shards = args.shards
+    if shards is None:
+        shards = service_shards() or DEFAULT_SHARDS
+    entries = args.max_entries
+    if entries is None:
+        entries = service_shard_entries() or DEFAULT_MAX_ENTRIES
+    return shards, entries
+
+
+def _serve_emit_trace(args: argparse.Namespace) -> int:
+    from repro.service import encode_record, record_scenario_stream
+
+    misbehaving = (args.cheater,) if args.pm > 0 else ()
+    topo = circle_topology(
+        args.senders, misbehaving=misbehaving, pm_percent=args.pm
+    )
+    config = ScenarioConfig(
+        topology=topo, protocol="correct",
+        duration_us=int(args.seconds * 1_000_000), seed=args.seed,
+    )
+    records, _ = record_scenario_stream(config)
+    out = sys.stdout
+    for record in records:
+        out.write(encode_record(record.sender, record.observation))
+        out.write("\n")
+    print(f"emitted {len(records)} observation(s) from "
+          f"{len({r.sender for r in records})} sender(s)", file=sys.stderr)
+    return 0
+
+
+def _serve_bench(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json as _json
+    import pathlib
+    from datetime import datetime, timezone
+
+    from repro.service import BENCH_SCALES, run_bench
+    from repro.service.loadgen import append_trajectory
+
+    scale = args.bench_scale
+    if scale is None:
+        import os
+
+        scale = "quick" if os.environ.get("REPRO_QUICK") else "bench"
+    base = BENCH_SCALES[scale]
+    overrides = {}
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.max_entries is not None:
+        overrides["max_entries"] = args.max_entries
+    if args.detector != "window":
+        overrides["detector"] = args.detector
+    config = dataclasses.replace(base, **overrides)
+
+    result = run_bench(config)
+    record = result.to_record()
+    record["utc"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    record["scale"] = scale
+    if args.bench_out != "-":
+        append_trajectory(pathlib.Path(args.bench_out), scale, record)
+
+    if args.json:
+        print(_json.dumps(record, indent=2))
+        return 0
+    p99 = record["p99_flag_latency_ms"]
+    print(f"service bench [{scale}]: detector={config.detector} "
+          f"shards={config.shards} x {config.max_entries} entries")
+    print(f"  observations:      {result.observations:>12,}")
+    print(f"  distinct senders:  {result.distinct_senders:>12,}")
+    print(f"  sustained rate:    {result.obs_per_sec:>12,.0f} obs/sec")
+    print(f"  p99 flag latency:  "
+          f"{'-' if p99 is None else f'{p99:,.1f} ms':>12}")
+    print(f"  flagged/cheaters:  {result.flagged:>6,}/{result.cheaters:,} "
+          f"(honest false flags: 0, asserted)")
+    print(f"  evictions:         {result.evictions:>12,}")
+    if args.bench_out != "-":
+        print(f"  trajectory:        {args.bench_out}")
+    return 0
+
+
+def _serve_forever(args: argparse.Namespace) -> int:
+    import threading
+    import time as _time
+
+    from repro.service import (
+        DetectionService,
+        ServiceHTTPServer,
+        TcpIngestServer,
+        ingest_stream,
+    )
+
+    shards, entries = _service_geometry(args)
+    service = DetectionService(
+        detector=args.detector, shards=shards, max_entries=entries
+    )
+    http_server = ServiceHTTPServer(service, host=args.host, port=args.port)
+    http_thread = threading.Thread(
+        target=http_server.serve_forever, daemon=True, name="serve-http"
+    )
+    http_thread.start()
+    host, port = http_server.server_address[:2]
+    print(f"serving detector {args.detector!r} "
+          f"({shards} shard(s) x {entries} entries) "
+          f"on http://{host}:{port}", file=sys.stderr, flush=True)
+
+    tcp_server = None
+    if args.tcp is not None:
+        tcp_server = TcpIngestServer(service, host=args.host, port=args.tcp)
+        threading.Thread(
+            target=tcp_server.serve_forever, daemon=True, name="serve-tcp"
+        ).start()
+        print(f"TCP ingest on {args.host}:{tcp_server.server_address[1]}",
+              file=sys.stderr, flush=True)
+
+    try:
+        if args.stdin:
+            ingested, rejected = ingest_stream(
+                service, sys.stdin, errors=sys.stderr
+            )
+            print(f"stdin drained: {ingested} ingested, {rejected} "
+                  f"rejected", file=sys.stderr, flush=True)
+            if args.linger > 0:
+                print(f"lingering {args.linger:g}s for API queries",
+                      file=sys.stderr, flush=True)
+                _time.sleep(args.linger)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if tcp_server is not None:
+            tcp_server.shutdown()
+        http_server.shutdown()
     return 0
 
 
@@ -688,6 +876,10 @@ def main(argv: list[str] | None = None) -> int:
                           metavar="PCT",
                           help="seeds-needed target: 95%% CI half-width "
                                "as %% of the mean (default: 5)")
+    p_report.add_argument("--csv", default=None, metavar="PATH",
+                          help="also export the dataset as CSV: one row "
+                               "per settled cell, grid axes + metrics as "
+                               "columns, None as empty field")
     p_report.set_defaults(func=_cmd_campaign_report)
 
     p_theory = sub.add_parser("theory", help="Bianchi model vs simulator")
@@ -695,6 +887,61 @@ def main(argv: list[str] | None = None) -> int:
                           default=[1, 2, 4, 8, 16])
     p_theory.add_argument("--seconds", type=float, default=2.0)
     p_theory.set_defaults(func=_cmd_theory)
+
+    p_serve = sub.add_parser(
+        "serve", help="online detection service (docs/SERVICE.md)",
+    )
+    p_serve.add_argument("--detector", default="window",
+                         help="detector spec to serve (default: window)")
+    p_serve.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="state-store shard count (default: "
+                              "REPRO_SERVICE_SHARDS or 8)")
+    p_serve.add_argument("--max-entries", type=int, default=None,
+                         metavar="N",
+                         help="per-shard LRU entry budget (default: "
+                              "REPRO_SERVICE_ENTRIES or 10000)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="HTTP API port (default: 0 = ephemeral)")
+    p_serve.add_argument("--tcp", type=int, default=None, metavar="PORT",
+                         help="also accept wire lines over TCP on PORT "
+                              "(0 = ephemeral)")
+    p_serve.add_argument("--stdin", action="store_true",
+                         help="ingest wire JSONL from stdin until EOF")
+    p_serve.add_argument("--linger", type=float, default=0.0, metavar="S",
+                         help="with --stdin: keep serving the API S "
+                              "seconds after EOF")
+    p_serve.add_argument("--emit-trace", action="store_true",
+                         help="record a simulation's judged-observation "
+                              "stream as wire JSONL on stdout (no server)")
+    p_serve.add_argument("--pm", type=float, default=60.0,
+                         help="emit-trace: cheater misbehavior %% "
+                              "(default: 60; 0 = all honest)")
+    p_serve.add_argument("--senders", type=int, default=8,
+                         help="emit-trace: circle-topology sender count "
+                              "(default: 8)")
+    p_serve.add_argument("--cheater", type=int, default=3,
+                         help="emit-trace: misbehaving node id "
+                              "(default: 3)")
+    p_serve.add_argument("--seconds", type=float, default=0.5,
+                         help="emit-trace: simulated seconds "
+                              "(default: 0.5)")
+    p_serve.add_argument("--seed", type=int, default=1,
+                         help="emit-trace: simulation seed (default: 1)")
+    p_serve.add_argument("--bench", action="store_true",
+                         help="run the Zipf sustained-throughput bench "
+                              "(no server)")
+    p_serve.add_argument("--bench-scale",
+                         choices=["quick", "bench", "full"], default=None,
+                         help="bench geometry (default: bench, or quick "
+                              "under REPRO_QUICK)")
+    p_serve.add_argument("--bench-out",
+                         default="benchmarks/BENCH_service.json",
+                         help="bench trajectory file ('-' = don't write)")
+    p_serve.add_argument("--json", action="store_true",
+                         help="bench: print the record as JSON")
+    p_serve.set_defaults(func=_cmd_serve)
 
     if argv is None:
         argv = sys.argv[1:]

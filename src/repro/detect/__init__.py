@@ -20,7 +20,13 @@ See ``docs/DETECTORS.md`` for the protocol contract, the parameter
 mapping to the cited papers, and how to add a detector.
 """
 
-from repro.detect.base import Detector, DetectorBase, Observation
+from repro.detect.base import (
+    OBSERVATION_SCHEMA_VERSION,
+    Detector,
+    DetectorBase,
+    Observation,
+    ObservationDecodeError,
+)
 from repro.detect.cusum import CusumDetector
 from repro.detect.estimator import CwminEstimatorDetector
 from repro.detect.registry import (
@@ -36,12 +42,14 @@ from repro.detect.window import WindowDetector
 
 __all__ = [
     "DEFAULT_DETECTOR",
+    "OBSERVATION_SCHEMA_VERSION",
     "CusumDetector",
     "CwminEstimatorDetector",
     "Detector",
     "DetectorBase",
     "DetectorSpecError",
     "Observation",
+    "ObservationDecodeError",
     "WindowDetector",
     "detector_factory",
     "make_detector",

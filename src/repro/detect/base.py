@@ -18,8 +18,18 @@ fed the same stream agree.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Protocol, runtime_checkable
+from typing import Dict, Protocol, runtime_checkable
+
+#: Version tag carried by every :meth:`Observation.to_dict` record.
+#: Bump it when a field is added/renamed; :meth:`Observation.from_dict`
+#: rejects records from a version it does not read.
+OBSERVATION_SCHEMA_VERSION = 1
+
+
+class ObservationDecodeError(ValueError):
+    """An observation record does not match the versioned schema."""
 
 
 @dataclass(frozen=True)
@@ -52,6 +62,96 @@ class Observation:
         the quantity the paper's diagnosis window accumulates.
         """
         return float(self.b_exp - self.b_act)
+
+    # ------------------------------------------------------------------
+    # Versioned dict codec (the detection service's wire format; also
+    # useful for trace tooling that wants observations as plain JSON).
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """This observation as a plain, versioned, JSON-ready dict.
+
+        The inverse of :meth:`from_dict`: ``Observation.from_dict(
+        obs.to_dict()) == obs`` for every observation with finite
+        backoff fields (JSON has no portable NaN/Inf).
+        """
+        return {
+            "v": OBSERVATION_SCHEMA_VERSION,
+            "b_exp": float(self.b_exp),
+            "b_act": float(self.b_act),
+            "retries": int(self.retries),
+            "time_us": int(self.time_us),
+        }
+
+    @classmethod
+    def from_dict(cls, data: object) -> "Observation":
+        """Decode a :meth:`to_dict` record, strictly.
+
+        The schema is deliberately unforgiving — this is a wire
+        format, and a silently mis-read field would corrupt verdicts
+        downstream.  Raises :class:`ObservationDecodeError` naming the
+        offending field for: a non-mapping payload, a missing or
+        unsupported ``v``, missing fields, unknown fields, wrong
+        types (bools are not numbers), non-finite backoffs,
+        ``retries < 1`` and ``time_us < 0``.
+        """
+        if not isinstance(data, dict):
+            raise ObservationDecodeError(
+                f"observation record must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        version = data.get("v")
+        if version is None:
+            raise ObservationDecodeError(
+                "observation record has no 'v' schema-version field "
+                f"(this build writes v={OBSERVATION_SCHEMA_VERSION})"
+            )
+        if version != OBSERVATION_SCHEMA_VERSION:
+            raise ObservationDecodeError(
+                f"unsupported observation schema version {version!r}; "
+                f"this build reads v={OBSERVATION_SCHEMA_VERSION}"
+            )
+        expected = ("v", "b_exp", "b_act", "retries", "time_us")
+        missing = [name for name in expected if name not in data]
+        if missing:
+            raise ObservationDecodeError(
+                f"observation record missing field(s): "
+                f"{', '.join(missing)} (expected {', '.join(expected)})"
+            )
+        unknown = [name for name in data if name not in expected]
+        if unknown:
+            raise ObservationDecodeError(
+                f"observation record has unknown field(s): "
+                f"{', '.join(sorted(unknown))} (schema "
+                f"v={OBSERVATION_SCHEMA_VERSION} has {', '.join(expected)})"
+            )
+        values = {}
+        for name in ("b_exp", "b_act"):
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ObservationDecodeError(
+                    f"observation field {name!r} must be a number, "
+                    f"got {value!r}"
+                )
+            if not math.isfinite(value):
+                raise ObservationDecodeError(
+                    f"observation field {name!r} must be finite, "
+                    f"got {value!r}"
+                )
+            values[name] = float(value)
+        for name, minimum in (("retries", 1), ("time_us", 0)):
+            value = data[name]
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ObservationDecodeError(
+                    f"observation field {name!r} must be an integer, "
+                    f"got {value!r}"
+                )
+            if value < minimum:
+                raise ObservationDecodeError(
+                    f"observation field {name!r} must be >= {minimum}, "
+                    f"got {value}"
+                )
+            values[name] = value
+        return cls(**values)
 
 
 @runtime_checkable

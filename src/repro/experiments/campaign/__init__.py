@@ -25,6 +25,7 @@ from repro.experiments.campaign.analysis import (
     JOURNAL_FIGURES,
     MergeResult,
     ReportError,
+    export_csv,
     figure_from_dataset,
     group_diagnostics,
     load_dataset,
@@ -96,6 +97,7 @@ __all__ = [
     "figure_from_dataset",
     "format_campaign",
     "group_diagnostics",
+    "export_csv",
     "load_dataset",
     "merge_journals",
     "parse_campaign",

@@ -458,6 +458,33 @@ def load_dataset(source: os.PathLike | str) -> CampaignDataset:
 
 
 # ----------------------------------------------------------------------
+# CSV export
+# ----------------------------------------------------------------------
+def export_csv(dataset: CampaignDataset, path: os.PathLike | str) -> int:
+    """Write a dataset as CSV: one row per settled cell.
+
+    Columns are the dataset's columns in dataset order (the typed grid
+    axes of :data:`AXIS_COLUMNS`, then one column per journal metric,
+    then ``error``).  ``None`` — a failed cell's metrics, an ok cell's
+    error — is written as an empty field, the conventional CSV null
+    that pandas/R read back as NaN/NA.  Returns the row count.
+    """
+    import csv
+
+    path = pathlib.Path(path)
+    names = list(dataset.columns)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in dataset.rows():
+            writer.writerow(
+                "" if row[name] is None else row[name] for name in names
+            )
+    return len(dataset)
+
+
+# ----------------------------------------------------------------------
 # Cross-seed diagnostics
 # ----------------------------------------------------------------------
 def seeds_for_relative_ci(
@@ -837,6 +864,7 @@ __all__ = [
     "ReportError",
     "ShardInfo",
     "SkippedRecord",
+    "export_csv",
     "figure_from_dataset",
     "group_diagnostics",
     "load_dataset",

@@ -31,7 +31,11 @@ Beyond the scale selection this module also centralises the other
   (events per run / wall seconds per run); setting either arms a
   :class:`repro.sim.engine.Watchdog` inside every scenario build, so
   a stuck simulation raises ``SimulationStalled`` with an event trace
-  instead of spinning forever.
+  instead of spinning forever;
+* ``REPRO_SERVICE_SHARDS`` / ``REPRO_SERVICE_ENTRIES`` — default
+  geometry of the online detection service's sharded state store
+  (``python -m repro serve``): shard count and per-shard LRU entry
+  budget (see :mod:`repro.service`).  CLI flags override both.
 
 A knob counts as "set" when its value is non-empty and not ``"0"``,
 so ``REPRO_CACHE=0`` is an explicit off.
@@ -182,6 +186,18 @@ def max_retries() -> int:
     """Retry budget per task from ``REPRO_RETRIES`` (default 2)."""
     value = _env_number("REPRO_RETRIES", int, 0)
     return 2 if value is None else value
+
+
+def service_shards() -> Optional[int]:
+    """Service shard count from ``REPRO_SERVICE_SHARDS`` (None: the
+    service default, :data:`repro.service.store.DEFAULT_SHARDS`)."""
+    return _env_number("REPRO_SERVICE_SHARDS", int, 1)
+
+
+def service_shard_entries() -> Optional[int]:
+    """Per-shard LRU budget from ``REPRO_SERVICE_ENTRIES`` (None: the
+    service default, :data:`repro.service.store.DEFAULT_MAX_ENTRIES`)."""
+    return _env_number("REPRO_SERVICE_ENTRIES", int, 1)
 
 
 def watchdog_from_env() -> Optional[Watchdog]:

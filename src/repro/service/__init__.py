@@ -1,0 +1,83 @@
+"""Online detection as a long-running service.
+
+The paper evaluates its diagnosis scheme post-hoc over completed
+simulation runs, but the Section 4.3 window test is an inherently
+*online* per-sender decision procedure — Cao et al. (PAPERS.md) argue
+detection must happen in real time on the live observation stream.
+This package hosts any registered :mod:`repro.detect` family that way:
+
+* :mod:`~repro.service.codec` — versioned JSONL wire format (one
+  observation per line, strict decoding);
+* :mod:`~repro.service.store` — N-sharded per-sender detector state
+  with LRU eviction under a per-shard entry budget; evictions are
+  counted and surfaced, so bounded memory is measured, not hoped for;
+* :mod:`~repro.service.verdicts` — capped first-flag log feeding the
+  long-poll ``/watch`` endpoint and the latency benchmark;
+* :mod:`~repro.service.ingest` — the :class:`DetectionService`
+  facade, plus stdin and TCP ingest sources;
+* :mod:`~repro.service.server` — stdlib HTTP query API
+  (``/verdicts``, ``/senders/<id>``, ``/stats``, ``/watch``);
+* :mod:`~repro.service.adapter` — records a simulation's
+  judged-observation stream and replays it through the service;
+  served verdicts are bit-identical to in-sim ones;
+* :mod:`~repro.service.loadgen` — Zipf load generator and the
+  sustained-throughput benchmark behind ``python -m repro serve
+  --bench`` and ``benchmarks/BENCH_service.json``.
+
+See ``docs/SERVICE.md`` for the architecture, the API reference, and
+the bounded-memory and bench semantics.
+"""
+
+from repro.service.adapter import (
+    RecordingDetector,
+    StreamRecord,
+    record_scenario_stream,
+    recorded_verdicts,
+    replay_stream,
+)
+from repro.service.codec import (
+    WIRE_VERSION,
+    WireError,
+    decode_lines,
+    decode_record,
+    encode_record,
+    encode_stream,
+)
+from repro.service.ingest import DetectionService, TcpIngestServer, ingest_stream
+from repro.service.loadgen import (
+    BENCH_SCALES,
+    BenchConfig,
+    BenchResult,
+    generate_stream,
+    run_bench,
+)
+from repro.service.server import ServiceHTTPServer
+from repro.service.store import FlagEvent, ShardedDetectorStore, shard_of
+from repro.service.verdicts import VerdictLog
+
+__all__ = [
+    "BENCH_SCALES",
+    "WIRE_VERSION",
+    "BenchConfig",
+    "BenchResult",
+    "DetectionService",
+    "FlagEvent",
+    "RecordingDetector",
+    "ServiceHTTPServer",
+    "ShardedDetectorStore",
+    "StreamRecord",
+    "TcpIngestServer",
+    "VerdictLog",
+    "WireError",
+    "decode_lines",
+    "decode_record",
+    "encode_record",
+    "encode_stream",
+    "generate_stream",
+    "ingest_stream",
+    "record_scenario_stream",
+    "recorded_verdicts",
+    "replay_stream",
+    "run_bench",
+    "shard_of",
+]

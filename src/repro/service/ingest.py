@@ -1,0 +1,216 @@
+"""Observation ingest: the facade tying codec, store and verdicts.
+
+:class:`DetectionService` is the long-running object the CLI, the
+HTTP API, the load generator and the tests all share.  It accepts
+observations three ways:
+
+* **in-process** — :meth:`DetectionService.ingest_observation`
+  (already-decoded ``(sender, Observation)``; the hot path the bench
+  measures and the trace-replay adapter drives);
+* **stdin** — :func:`ingest_stream` pumps JSONL wire lines from any
+  text stream (``python -m repro serve --stdin < trace.jsonl``);
+* **TCP** — :class:`TcpIngestServer`, a threaded line-oriented
+  socket server; each connection streams wire lines and receives one
+  JSON error line back per rejected record (accepted records are
+  silent, so a well-formed stream never blocks on responses).
+
+Malformed lines never kill an ingest source: they are counted
+(``decode_errors`` in :meth:`DetectionService.stats`), reported to the
+offender where a back-channel exists (TCP), and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import time
+from collections import deque
+from typing import Deque, Dict, IO, Iterable, Optional, Tuple
+
+from repro.core.params import PAPER_CONFIG, ProtocolConfig
+from repro.detect import DEFAULT_DETECTOR, detector_factory
+from repro.detect.base import Observation
+from repro.service.codec import WireError, decode_record
+from repro.service.store import (
+    DEFAULT_MAX_ENTRIES,
+    DEFAULT_SHARDS,
+    DEFAULT_TRANSITION_CAP,
+    ShardedDetectorStore,
+)
+from repro.service.verdicts import DEFAULT_VERDICT_CAP, VerdictLog
+
+#: Observations between throughput snapshots (one clock read each).
+_RATE_SAMPLE_EVERY = 4096
+
+
+class DetectionService:
+    """One hosted detector family serving many senders.
+
+    Parameters
+    ----------
+    detector:
+        Detector spec string (see :mod:`repro.detect`); any registered
+        family works — the service never looks inside the detector.
+    config:
+        Protocol parameters supplying spec defaults (W/THRESH for
+        ``window``, CWmin scaling for the others) — the same defaults
+        the in-sim receiver pipeline uses, so served verdicts match
+        simulated ones.
+    shards / max_entries / transition_cap / verdict_cap:
+        See :class:`~repro.service.store.ShardedDetectorStore` and
+        :class:`~repro.service.verdicts.VerdictLog`.
+    """
+
+    def __init__(
+        self,
+        detector: str = DEFAULT_DETECTOR,
+        config: ProtocolConfig = PAPER_CONFIG,
+        shards: int = DEFAULT_SHARDS,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        transition_cap: int = DEFAULT_TRANSITION_CAP,
+        verdict_cap: int = DEFAULT_VERDICT_CAP,
+    ):
+        self.detector_spec = detector
+        self.store = ShardedDetectorStore(
+            detector_factory(detector, config),
+            shards=shards,
+            max_entries=max_entries,
+            transition_cap=transition_cap,
+        )
+        self.verdicts = VerdictLog(cap=verdict_cap)
+        self.started = time.monotonic()
+        self.decode_errors = 0
+        self._ingested = 0
+        #: ``(wall, total)`` snapshots for the recent-rate estimate.
+        self._rate_samples: Deque[Tuple[float, int]] = deque(maxlen=64)
+        self._rate_samples.append((self.started, 0))
+
+    # ------------------------------------------------------------------
+    # Ingest paths
+    # ------------------------------------------------------------------
+    def ingest_observation(self, sender: str, observation: Observation) -> bool:
+        """Fold one decoded observation in; returns the verdict."""
+        verdict, event = self.store.observe(sender, observation)
+        if event is not None:
+            self.verdicts.publish(event)
+        self._ingested += 1
+        if self._ingested % _RATE_SAMPLE_EVERY == 0:
+            self._rate_samples.append((time.monotonic(), self._ingested))
+        return verdict
+
+    def ingest_line(self, line: str) -> bool:
+        """Decode and ingest one wire line (raises :class:`WireError`)."""
+        sender, observation = decode_record(line)
+        return self.ingest_observation(sender, observation)
+
+    def record_decode_error(self) -> None:
+        self.decode_errors += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The ``/stats`` payload: rates, occupancy, counters."""
+        now = time.monotonic()
+        store = self.store.stats()
+        total = store["observations"]
+        uptime = max(now - self.started, 1e-9)
+        oldest_wall, oldest_total = self._rate_samples[0]
+        window = max(now - oldest_wall, 1e-9)
+        return {
+            "detector": self.detector_spec,
+            "uptime_s": round(uptime, 3),
+            "observations": total,
+            "decode_errors": self.decode_errors,
+            "obs_per_sec": round(total / uptime, 1),
+            "recent_obs_per_sec": round(
+                (self._ingested - oldest_total) / window, 1
+            ),
+            "store": store,
+            "verdicts": self.verdicts.stats(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Stream (stdin) ingest
+# ----------------------------------------------------------------------
+def ingest_stream(
+    service: DetectionService,
+    lines: Iterable[str],
+    errors: Optional[IO[str]] = None,
+    max_reported: int = 10,
+) -> Tuple[int, int]:
+    """Pump wire lines into the service until the stream ends.
+
+    Returns ``(ingested, rejected)``.  Blank lines are keep-alives.
+    The first ``max_reported`` rejects are echoed to ``errors`` (e.g.
+    stderr) with their line number; the rest are only counted.
+    """
+    ingested = rejected = 0
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            service.ingest_line(line)
+            ingested += 1
+        except WireError as exc:
+            service.record_decode_error()
+            rejected += 1
+            if errors is not None and rejected <= max_reported:
+                print(f"ingest: line {lineno} rejected: {exc}", file=errors)
+    if errors is not None and rejected > max_reported:
+        print(f"ingest: ... and {rejected - max_reported} more rejected "
+              f"line(s)", file=errors)
+    return ingested, rejected
+
+
+# ----------------------------------------------------------------------
+# TCP ingest
+# ----------------------------------------------------------------------
+class _TcpIngestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        service: DetectionService = self.server.service  # type: ignore
+        for raw in self.rfile:
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                service.record_decode_error()
+                self._reject("line is not valid UTF-8")
+                continue
+            if not line:
+                continue
+            try:
+                service.ingest_line(line)
+            except WireError as exc:
+                service.record_decode_error()
+                self._reject(str(exc))
+
+    def _reject(self, message: str) -> None:
+        try:
+            self.wfile.write(
+                (json.dumps({"error": message}) + "\n").encode("utf-8")
+            )
+        except OSError:  # peer already gone; the count still happened
+            pass
+
+
+class TcpIngestServer(socketserver.ThreadingTCPServer):
+    """Line-oriented TCP ingest on ``host:port`` (port 0 = ephemeral).
+
+    Use like ``http.server``: construct, then ``serve_forever()`` on a
+    thread, ``shutdown()`` to stop.  The bound port is
+    ``server.server_address[1]``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: DetectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__((host, port), _TcpIngestHandler)
+        self.service = service

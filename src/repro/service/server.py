@@ -1,0 +1,165 @@
+"""HTTP query API over a :class:`~repro.service.ingest.DetectionService`.
+
+Pure stdlib (``http.server.ThreadingHTTPServer``) — the service must
+run anywhere the simulator runs.  All responses are JSON.
+
+Endpoints
+---------
+``GET /stats``
+    Ingest rates, per-shard occupancy, eviction and flag counters.
+``GET /verdicts[?after=ID&limit=N]``
+    First-flag events (id, sender, stream time, observations-to-flag,
+    wall latency) with id > ``after``, plus ``next`` — the id to pass
+    back as ``after`` on the next poll — and the currently-flagged
+    resident senders.
+``GET /senders/<id>``
+    One sender's resident detector state: verdict, counters, bounded
+    flag/clear transition log.  404 when the sender was never seen
+    *or* was evicted under the entry budget (the body says which
+    cannot be distinguished, by design: bounded memory).
+``GET /watch[?after=ID&timeout=S]``
+    Long-poll ``/verdicts``: blocks until a first-flag event with
+    id > ``after`` exists or the timeout (default 30 s, capped at
+    ``MAX_WATCH_TIMEOUT``) passes, then answers like ``/verdicts``
+    (possibly with an empty event list on timeout).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.service.ingest import DetectionService
+
+#: Upper bound on a single ``/watch`` long-poll (seconds).
+MAX_WATCH_TIMEOUT = 120.0
+
+
+class _ApiHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        service: DetectionService = self.server.service  # type: ignore
+        url = urlsplit(self.path)
+        query = parse_qs(url.query)
+        path = url.path.rstrip("/") or "/"
+        try:
+            if path == "/stats":
+                self._json(200, service.stats())
+            elif path == "/verdicts":
+                self._verdicts(service, query)
+            elif path == "/watch":
+                self._watch(service, query)
+            elif path.startswith("/senders/"):
+                self._sender(service, unquote(path[len("/senders/"):]))
+            else:
+                self._json(404, {
+                    "error": f"no such endpoint: {path}",
+                    "endpoints": ["/stats", "/verdicts", "/senders/<id>",
+                                  "/watch"],
+                })
+        except _BadRequest as exc:
+            self._json(400, {"error": str(exc)})
+
+    # ------------------------------------------------------------------
+    def _verdicts(self, service: DetectionService, query) -> None:
+        after = _int_param(query, "after", 0, minimum=0)
+        limit = _int_param(query, "limit", None, minimum=1)
+        events, next_id = service.verdicts.events_after(after, limit)
+        self._json(200, {
+            "events": events,
+            "next": next_id,
+            "flagged": service.store.flagged_senders(),
+        })
+
+    def _watch(self, service: DetectionService, query) -> None:
+        after = _int_param(query, "after", 0, minimum=0)
+        limit = _int_param(query, "limit", None, minimum=1)
+        timeout = _float_param(query, "timeout", 30.0, minimum=0.0)
+        events, next_id = service.verdicts.wait_for(
+            after, timeout=min(timeout, MAX_WATCH_TIMEOUT), limit=limit
+        )
+        self._json(200, {"events": events, "next": next_id})
+
+    def _sender(self, service: DetectionService, sender: str) -> None:
+        if not sender:
+            raise _BadRequest("empty sender id (use /senders/<id>)")
+        snapshot = service.store.get(sender)
+        if snapshot is None:
+            self._json(404, {
+                "error": f"sender {sender!r} is not resident: never "
+                         "observed, or evicted under the per-shard entry "
+                         "budget (see /stats evictions)",
+            })
+            return
+        self._json(200, snapshot)
+
+    # ------------------------------------------------------------------
+    def _json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the service's stdout/stderr belong to the operator
+
+
+class _BadRequest(ValueError):
+    pass
+
+
+def _int_param(query, name, default, minimum):
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise _BadRequest(
+            f"query parameter {name!r} must be an integer, "
+            f"got {values[-1]!r}"
+        ) from None
+    if value < minimum:
+        raise _BadRequest(f"query parameter {name!r} must be >= {minimum}")
+    return value
+
+
+def _float_param(query, name, default, minimum):
+    values = query.get(name)
+    if not values:
+        return default
+    try:
+        value = float(values[-1])
+    except ValueError:
+        raise _BadRequest(
+            f"query parameter {name!r} must be a number, got {values[-1]!r}"
+        ) from None
+    if value < minimum:
+        raise _BadRequest(f"query parameter {name!r} must be >= {minimum}")
+    return value
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """The query API bound to ``host:port`` (port 0 = ephemeral).
+
+    ``serve_forever()`` on a thread; ``shutdown()`` to stop.  The
+    bound port is ``server.server_address[1]``.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: DetectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        super().__init__((host, port), _ApiHandler)
+        self.service = service

@@ -1,0 +1,126 @@
+"""First-flag verdict log: the service's durable-ish verdict memory.
+
+The sharded store bounds per-sender *detector* state by evicting cold
+senders; a flagged sender must not be forgotten with it.  The
+:class:`VerdictLog` keeps one small record per first flag — the
+sender, when it flagged, how long it took from first sight — in a
+capped append-only list with monotonically increasing event ids, so:
+
+* ``/verdicts`` can answer "who has ever been flagged" even after the
+  flagged sender's detector state aged out of its shard;
+* ``/watch`` long-polls can resume from the last event id they saw
+  without missing a flag (ids are dense, so a gap is detectable);
+* the bench can compute p99 first-sight-to-flag latency from the
+  recorded wall-clock pairs without instrumenting the hot path.
+
+When the cap is reached the *oldest* events are dropped and counted
+(``dropped`` in :meth:`stats`); a watcher that resumes from an id
+older than the retained window is told so via the ``oldest`` field.
+"""
+
+from __future__ import annotations
+
+from threading import Condition
+from typing import Dict, List, Optional, Tuple
+
+from repro.service.store import FlagEvent
+
+#: Default first-flag events retained (one per ever-flagged sender).
+DEFAULT_VERDICT_CAP = 1_000_000
+
+
+class VerdictLog:
+    """Append-only, capped log of :class:`FlagEvent` with watch support."""
+
+    def __init__(self, cap: int = DEFAULT_VERDICT_CAP):
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        self._condition = Condition()
+        self._events: List[Tuple[int, FlagEvent]] = []
+        self._next_id = 1
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, event: FlagEvent) -> int:
+        """Append a first-flag event; wakes every ``/watch`` waiter."""
+        with self._condition:
+            event_id = self._next_id
+            self._next_id += 1
+            self._events.append((event_id, event))
+            if len(self._events) > self.cap:
+                del self._events[0]
+                self._dropped += 1
+            self._condition.notify_all()
+            return event_id
+
+    # ------------------------------------------------------------------
+    def events_after(
+        self, after: int = 0, limit: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, object]], int]:
+        """Events with id > ``after`` as dicts, plus the newest id.
+
+        The returned id is what a pollers passes back as ``after`` on
+        its next call, whether or not anything new arrived.
+        """
+        with self._condition:
+            return self._snapshot(after, limit)
+
+    def wait_for(
+        self,
+        after: int = 0,
+        timeout: float = 30.0,
+        limit: Optional[int] = None,
+    ) -> Tuple[List[Dict[str, object]], int]:
+        """Long-poll: block until an event with id > ``after`` exists
+        (or ``timeout`` seconds pass), then return like
+        :meth:`events_after`."""
+        with self._condition:
+            self._condition.wait_for(
+                lambda: self._next_id > after + 1, timeout=timeout
+            )
+            return self._snapshot(after, limit)
+
+    def _snapshot(
+        self, after: int, limit: Optional[int],
+    ) -> Tuple[List[Dict[str, object]], int]:
+        newest = self._next_id - 1
+        fresh = [
+            {
+                "id": event_id,
+                "sender": event.sender,
+                "time_us": event.time_us,
+                "observations": event.observations,
+                "latency_s": round(event.wall - event.first_obs_wall, 6),
+            }
+            for event_id, event in self._events
+            if event_id > after
+        ]
+        if limit is not None and len(fresh) > limit:
+            fresh = fresh[:limit]
+            newest = fresh[-1]["id"]
+        return fresh, newest
+
+    # ------------------------------------------------------------------
+    def latencies(self) -> List[float]:
+        """First-sight-to-flag wall latencies (seconds) of every
+        retained event, in publish order (the bench's p99 input)."""
+        with self._condition:
+            return [
+                event.wall - event.first_obs_wall
+                for _, event in self._events
+            ]
+
+    def stats(self) -> Dict[str, object]:
+        with self._condition:
+            return {
+                "flags": self._next_id - 1,
+                "retained": len(self._events),
+                "dropped": self._dropped,
+                "oldest": self._events[0][0] if self._events else None,
+                "cap": self.cap,
+            }
+
+    def __len__(self) -> int:
+        with self._condition:
+            return len(self._events)

@@ -311,6 +311,62 @@ class TestDataset:
             assert len(ds.missing) == 2
 
 
+class TestCsvExport:
+    def test_export_matches_dataset(self, reference, tmp_path):
+        import csv
+
+        from repro.experiments.campaign import export_csv
+
+        ds = load_dataset(reference["out"])
+        path = tmp_path / "cells.csv"
+        assert export_csv(ds, path) == len(ds)
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(ds.columns)  # header in dataset order
+        assert len(rows) == len(ds) + 1
+        # Typed axes survive as their str() forms, row-aligned.
+        by_name = dict(zip(rows[0], zip(*rows[1:])))
+        assert list(by_name["protocol"]) == \
+            ["802.11", "802.11", "correct", "correct"]
+        assert list(by_name["seed"]) == ["1", "2", "1", "2"]
+        # Ok rows have empty error fields (None -> "").
+        assert set(by_name["error"]) == {""}
+        assert all(float(v) > 0 for v in by_name["avg_throughput_bps"])
+
+    def test_cli_flag_writes_csv(self, reference, tmp_path, capsys):
+        path = tmp_path / "sub" / "cells.csv"  # parent dir is created
+        code = main([
+            "campaign", "report", "--dir", str(reference["out"]),
+            "--csv", str(path), "--no-diagnostics",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert path.is_file()
+        assert f"wrote 4 row(s)" in captured.err
+
+    def test_none_metrics_become_empty_fields(self, tmp_path):
+        import csv
+
+        from repro.experiments.campaign import export_csv
+        from repro.experiments.campaign.analysis import CampaignDataset
+
+        ds = CampaignDataset(
+            spec=None, spec_text="", source=tmp_path / "j",
+            columns={
+                "cell": [0, 1],
+                "status": ["ok", "failed"],
+                "avg_throughput_bps": [123.5, None],
+                "error": [None, "worker died"],
+            },
+        )
+        path = tmp_path / "cells.csv"
+        export_csv(ds, path)
+        with path.open(newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1] == ["0", "ok", "123.5", ""]
+        assert rows[2] == ["1", "failed", "", "worker died"]
+
+
 class TestDiagnostics:
     def test_group_diagnostics_values(self, reference):
         ds = load_dataset(reference["out"])

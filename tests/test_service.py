@@ -1,0 +1,583 @@
+"""Tests for the online detection service (repro.service).
+
+Covers the wire codec, the sharded LRU detector store, the verdict
+log, the ingest facade (in-process, stdin-style streams, TCP), the
+HTTP query API, and the subsystem's central promise: serving a
+detector changes nothing — the ``window`` detector hosted online
+produces the identical per-sender flag/clear verdict sequence as the
+same detector inside the in-sim ``SenderMonitor`` on the same
+observation stream.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import threading
+import urllib.request
+
+import pytest
+
+from repro.detect import Observation
+from repro.detect.window import WindowDetector
+from repro.experiments.scenarios import (
+    PROTOCOL_CORRECT,
+    ScenarioConfig,
+    run_scenario,
+)
+from repro.net import circle_topology
+from repro.service import (
+    DetectionService,
+    ServiceHTTPServer,
+    ShardedDetectorStore,
+    TcpIngestServer,
+    VerdictLog,
+    WireError,
+    decode_lines,
+    decode_record,
+    encode_record,
+    ingest_stream,
+    record_scenario_stream,
+    recorded_verdicts,
+    replay_stream,
+    shard_of,
+)
+from repro.service.store import FlagEvent
+
+
+def obs(b_exp, b_act, retries=1, time_us=0):
+    return Observation(b_exp=b_exp, b_act=b_act, retries=retries,
+                       time_us=time_us)
+
+
+def window_factory(window=5, thresh=20.0):
+    return lambda: WindowDetector(window=window, thresh=thresh)
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    def test_round_trip(self):
+        original = obs(31.0, 7.5, retries=2, time_us=480)
+        sender, decoded = decode_record(encode_record("node-3", original))
+        assert sender == "node-3"
+        assert decoded == original
+
+    def test_wire_line_is_flat_sorted_json(self):
+        line = encode_record("3", obs(31, 7))
+        data = json.loads(line)
+        assert data == {"v": 1, "sender": "3", "b_exp": 31.0,
+                        "b_act": 7.0, "retries": 1, "time_us": 0}
+        assert "\n" not in line
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(WireError, match="not valid JSON"):
+            decode_record("{nope")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WireError, match="JSON object.*list"):
+            decode_record("[1, 2]")
+
+    def test_missing_sender_rejected(self):
+        line = json.dumps(obs(31, 7).to_dict())
+        with pytest.raises(WireError, match="'sender'"):
+            decode_record(line)
+
+    def test_bad_sender_rejected(self):
+        for sender in ("", 3, None):
+            record = obs(31, 7).to_dict()
+            record["sender"] = sender
+            with pytest.raises(WireError, match="'sender'"):
+                decode_record(json.dumps(record))
+
+    def test_oversized_sender_rejected(self):
+        record = obs(31, 7).to_dict()
+        record["sender"] = "x" * 300
+        with pytest.raises(WireError, match="256"):
+            decode_record(json.dumps(record))
+
+    def test_observation_schema_errors_become_wire_errors(self):
+        record = obs(31, 7).to_dict()
+        record["sender"] = "3"
+        record["bogus"] = 1
+        with pytest.raises(WireError, match="bogus"):
+            decode_record(json.dumps(record))
+
+    def test_decode_lines_skips_blank_keepalives(self):
+        lines = [encode_record("a", obs(1, 1)), "", "   ",
+                 encode_record("b", obs(2, 2))]
+        decoded = list(decode_lines(lines))
+        assert [sender for sender, _ in decoded] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Sharded store
+# ----------------------------------------------------------------------
+class TestShardOf:
+    def test_deterministic_and_in_range(self):
+        for sender in ("1", "3", "node-x", "ffff"):
+            index = shard_of(sender, 8)
+            assert 0 <= index < 8
+            assert index == shard_of(sender, 8)  # stable across calls
+
+    def test_spreads_keys(self):
+        hit = {shard_of(str(i), 8) for i in range(1000)}
+        assert hit == set(range(8))
+
+
+class TestShardedDetectorStore:
+    def test_verdict_matches_bare_detector(self):
+        store = ShardedDetectorStore(window_factory(), shards=2,
+                                     max_entries=8)
+        bare = WindowDetector(window=5, thresh=20.0)
+        for i in range(10):
+            o = obs(31.0, 2.0, time_us=i)
+            verdict, _ = store.observe("3", o)
+            assert verdict is bare.observe(o)
+
+    def test_first_flag_event_once_per_tenure(self):
+        store = ShardedDetectorStore(window_factory(), shards=1,
+                                     max_entries=8)
+        events = []
+        for i in range(6):
+            _, event = store.observe("3", obs(31.0, 0.0, time_us=i * 10))
+            if event is not None:
+                events.append(event)
+        assert len(events) == 1
+        event = events[0]
+        assert isinstance(event, FlagEvent)
+        assert event.sender == "3"
+        assert event.observations == 1  # deficit 31 > thresh 20: first obs
+        assert event.wall >= event.first_obs_wall
+
+    def test_lru_eviction_counts_and_bounds(self):
+        store = ShardedDetectorStore(window_factory(), shards=1,
+                                     max_entries=3)
+        for i in range(10):
+            store.observe(str(i), obs(1.0, 1.0))
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["evictions"] == 7
+        assert len(store) == 3
+        # Oldest evicted: senders 0..6 gone, 7..9 resident.
+        assert store.get("0") is None
+        assert store.get("9") is not None
+
+    def test_touch_refreshes_lru_order(self):
+        store = ShardedDetectorStore(window_factory(), shards=1,
+                                     max_entries=2)
+        store.observe("a", obs(1, 1))
+        store.observe("b", obs(1, 1))
+        store.observe("a", obs(1, 1))  # refresh a; b is now coldest
+        store.observe("c", obs(1, 1))  # evicts b
+        assert store.get("a") is not None
+        assert store.get("b") is None
+        assert store.get("c") is not None
+
+    def test_recycled_detector_judges_like_fresh(self):
+        """Evict a flagged sender, readmit it: verdicts start clean."""
+        store = ShardedDetectorStore(window_factory(), shards=1,
+                                     max_entries=1)
+        for _ in range(3):
+            store.observe("cheat", obs(31.0, 0.0))
+        assert store.get("cheat")["flagged"]
+        store.observe("other", obs(1.0, 1.0))  # evicts (and recycles)
+        assert store.stats()["flagged_evictions"] == 1
+        verdict, event = store.observe("cheat", obs(1.0, 1.0))
+        assert verdict is False  # no residue from the earlier tenure
+        snapshot = store.get("cheat")
+        assert snapshot["observations"] == 1
+        assert snapshot["flagged_observations"] == 0
+
+    def test_transition_log_bounded_and_ordered(self):
+        store = ShardedDetectorStore(window_factory(window=1, thresh=5.0),
+                                     shards=1, max_entries=4,
+                                     transition_cap=4)
+        for i in range(20):
+            # Alternate flagging/clear observations: a transition each.
+            deficit = 10.0 if i % 2 == 0 else -10.0
+            store.observe("3", obs(max(deficit, 0.0),
+                                   max(-deficit, 0.0), time_us=i))
+        transitions = store.get("3")["transitions"]
+        assert len(transitions) == 4  # capped, oldest dropped
+        kinds = [t["verdict"] for t in transitions]
+        assert kinds in (["flag", "clear"] * 2, ["clear", "flag"] * 2)
+
+    def test_snapshot_and_flagged_senders(self):
+        store = ShardedDetectorStore(window_factory(), shards=4,
+                                     max_entries=8)
+        store.observe("honest", obs(5.0, 5.0))
+        store.observe("cheat", obs(31.0, 0.0))
+        assert store.flagged_senders() == ["cheat"]
+        snapshot = store.get("cheat")
+        assert snapshot["flagged"] is True
+        assert snapshot["first_flag"]["observations"] == 1
+        assert snapshot["shard"] == shard_of("cheat", 4)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="shards"):
+            ShardedDetectorStore(window_factory(), shards=0)
+        with pytest.raises(ValueError, match="max_entries"):
+            ShardedDetectorStore(window_factory(), max_entries=0)
+        with pytest.raises(ValueError, match="transition_cap"):
+            ShardedDetectorStore(window_factory(), transition_cap=1)
+
+
+# ----------------------------------------------------------------------
+# Verdict log
+# ----------------------------------------------------------------------
+def _flag_event(sender, time_us=100):
+    return FlagEvent(sender=sender, time_us=time_us, wall=2.0,
+                     first_obs_wall=1.5, observations=4)
+
+
+class TestVerdictLog:
+    def test_ids_dense_from_one(self):
+        log = VerdictLog()
+        assert [log.publish(_flag_event(str(i))) for i in range(3)] \
+            == [1, 2, 3]
+
+    def test_events_after_cursor(self):
+        log = VerdictLog()
+        for i in range(5):
+            log.publish(_flag_event(str(i)))
+        events, newest = log.events_after(2)
+        assert [e["id"] for e in events] == [3, 4, 5]
+        assert newest == 5
+        assert events[0]["latency_s"] == pytest.approx(0.5)
+        events, newest = log.events_after(5)
+        assert events == [] and newest == 5
+
+    def test_limit_moves_cursor_to_last_returned(self):
+        log = VerdictLog()
+        for i in range(5):
+            log.publish(_flag_event(str(i)))
+        events, newest = log.events_after(0, limit=2)
+        assert [e["id"] for e in events] == [1, 2]
+        assert newest == 2  # resuming from here misses nothing
+
+    def test_cap_drops_oldest_and_counts(self):
+        log = VerdictLog(cap=3)
+        for i in range(5):
+            log.publish(_flag_event(str(i)))
+        stats = log.stats()
+        assert stats == {"flags": 5, "retained": 3, "dropped": 2,
+                         "oldest": 3, "cap": 3}
+        events, _ = log.events_after(0)
+        assert [e["id"] for e in events] == [3, 4, 5]
+
+    def test_wait_for_returns_immediately_when_ready(self):
+        log = VerdictLog()
+        log.publish(_flag_event("3"))
+        events, newest = log.wait_for(0, timeout=0.01)
+        assert [e["id"] for e in events] == [1]
+
+    def test_wait_for_times_out_empty(self):
+        log = VerdictLog()
+        events, newest = log.wait_for(0, timeout=0.01)
+        assert events == [] and newest == 0
+
+    def test_wait_for_wakes_on_publish(self):
+        log = VerdictLog()
+        got = {}
+
+        def wait():
+            got["events"], got["newest"] = log.wait_for(0, timeout=5.0)
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        log.publish(_flag_event("3"))
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert [e["sender"] for e in got["events"]] == ["3"]
+
+
+# ----------------------------------------------------------------------
+# Ingest facade
+# ----------------------------------------------------------------------
+class TestDetectionService:
+    def test_ingest_and_stats(self):
+        service = DetectionService(shards=2, max_entries=8)
+        assert service.ingest_observation("3", obs(31.0, 0.0)) is True
+        assert service.ingest_observation("5", obs(1.0, 1.0)) is False
+        stats = service.stats()
+        assert stats["detector"] == "window"
+        assert stats["observations"] == 2
+        assert stats["store"]["currently_flagged"] == 1
+        assert stats["verdicts"]["flags"] == 1
+
+    def test_ingest_stream_counts_rejects(self):
+        service = DetectionService(shards=1, max_entries=8)
+        lines = [
+            encode_record("3", obs(31.0, 0.0)),
+            "",                       # keep-alive, skipped
+            "{broken",                # rejected
+            encode_record("5", obs(1.0, 1.0)),
+            json.dumps({"v": 1, "b_exp": 1}),  # missing fields: rejected
+        ]
+        errors = io.StringIO()
+        ingested, rejected = ingest_stream(service, lines, errors=errors)
+        assert (ingested, rejected) == (2, 2)
+        assert service.stats()["decode_errors"] == 2
+        report = errors.getvalue()
+        assert "line 3" in report and "line 5" in report
+
+    def test_cusum_detector_spec_served(self):
+        service = DetectionService(detector="cusum:h=2.0,k=0.25",
+                                   shards=1, max_entries=8)
+        flagged = False
+        for _ in range(20):
+            flagged = service.ingest_observation("3", obs(31.0, 3.0))
+        assert flagged
+        assert service.stats()["detector"] == "cusum:h=2.0,k=0.25"
+
+
+class TestTcpIngest:
+    def test_stream_over_socket(self):
+        service = DetectionService(shards=1, max_entries=8)
+        server = TcpIngestServer(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            with socket.create_connection((host, port), timeout=5) as conn:
+                payload = "\n".join([
+                    encode_record("3", obs(31.0, 0.0)),
+                    "{broken",
+                    encode_record("5", obs(1.0, 1.0)),
+                ]) + "\n"
+                conn.sendall(payload.encode())
+                conn.shutdown(socket.SHUT_WR)
+                reply = conn.makefile().read()
+            rejects = [json.loads(line) for line in reply.splitlines()]
+            assert len(rejects) == 1
+            assert "JSON" in rejects[0]["error"]
+            deadline = 50
+            while service.stats()["observations"] < 2 and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            stats = service.stats()
+            assert stats["observations"] == 2
+            assert stats["decode_errors"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# HTTP API
+# ----------------------------------------------------------------------
+@pytest.fixture
+def api():
+    """(base_url, service) with a live threaded HTTP server."""
+    service = DetectionService(shards=2, max_entries=8)
+    server = ServiceHTTPServer(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield f"http://{host}:{port}", service
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHttpApi:
+    def test_stats(self, api):
+        base, service = api
+        service.ingest_observation("3", obs(31.0, 0.0))
+        status, body = _get(f"{base}/stats")
+        assert status == 200
+        assert body["observations"] == 1
+        assert body["store"]["shards"] == 2
+
+    def test_verdicts_polling(self, api):
+        base, service = api
+        service.ingest_observation("3", obs(31.0, 0.0))
+        service.ingest_observation("7", obs(1.0, 1.0))
+        status, body = _get(f"{base}/verdicts")
+        assert status == 200
+        assert [e["sender"] for e in body["events"]] == ["3"]
+        assert body["flagged"] == ["3"]
+        cursor = body["next"]
+        status, body = _get(f"{base}/verdicts?after={cursor}")
+        assert body["events"] == []
+        assert body["next"] == cursor
+
+    def test_sender_snapshot_and_404(self, api):
+        base, service = api
+        service.ingest_observation("3", obs(31.0, 0.0))
+        status, body = _get(f"{base}/senders/3")
+        assert status == 200
+        assert body["flagged"] is True
+        status, body = _get(f"{base}/senders/unknown")
+        assert status == 404
+        assert "evicted" in body["error"]
+
+    def test_unknown_endpoint_lists_routes(self, api):
+        base, _ = api
+        status, body = _get(f"{base}/nope")
+        assert status == 404
+        assert "/verdicts" in body["endpoints"]
+
+    def test_bad_query_param_is_400(self, api):
+        base, _ = api
+        status, body = _get(f"{base}/verdicts?after=abc")
+        assert status == 400
+        assert "'after'" in body["error"]
+        status, body = _get(f"{base}/watch?timeout=-1")
+        assert status == 400
+
+    def test_watch_long_poll_wakes_on_flag(self, api):
+        base, service = api
+        got = {}
+
+        def poll():
+            got["status"], got["body"] = _get(
+                f"{base}/watch?after=0&timeout=10"
+            )
+
+        poller = threading.Thread(target=poll)
+        poller.start()
+        service.ingest_observation("3", obs(31.0, 0.0))
+        poller.join(timeout=10.0)
+        assert not poller.is_alive()
+        assert got["status"] == 200
+        assert [e["sender"] for e in got["body"]["events"]] == ["3"]
+
+    def test_watch_timeout_returns_empty(self, api):
+        base, _ = api
+        status, body = _get(f"{base}/watch?after=0&timeout=0.05")
+        assert status == 200
+        assert body["events"] == []
+
+
+# ----------------------------------------------------------------------
+# Sim adapter: the served-equals-simulated contract
+# ----------------------------------------------------------------------
+def _scenario(seconds=0.4, seed=1):
+    topo = circle_topology(8, misbehaving=(3,), pm_percent=60.0)
+    return ScenarioConfig(topology=topo, protocol=PROTOCOL_CORRECT,
+                          duration_us=int(seconds * 1_000_000), seed=seed)
+
+
+class TestSimAdapter:
+    def test_recording_does_not_perturb_the_run(self):
+        config = _scenario()
+        records, recorded_result = record_scenario_stream(config)
+        plain_result = run_scenario(config)
+        assert recorded_result.events_processed \
+            == plain_result.events_processed
+        assert recorded_result.event_counts == plain_result.event_counts
+        assert recorded_result.collector.deliveries \
+            == plain_result.collector.deliveries
+        assert records, "a saturated 0.4 s run must judge observations"
+
+    def test_stream_is_judged_observations_in_arrival_order(self):
+        records, _ = record_scenario_stream(_scenario())
+        assert [r.seq for r in records] == sorted(r.seq for r in records)
+        senders = {r.sender for r in records}
+        assert "3" in senders and len(senders) > 1
+
+    def test_rejects_baseline_protocol(self):
+        topo = circle_topology(4)
+        config = ScenarioConfig(topology=topo, protocol="802.11",
+                                duration_us=100_000, seed=1)
+        with pytest.raises(ValueError, match="correct"):
+            record_scenario_stream(config)
+
+    def test_served_verdicts_bit_identical_to_sim(self):
+        """THE subsystem contract: window served online == in-sim."""
+        records, _ = record_scenario_stream(_scenario())
+        in_sim = recorded_verdicts(records)
+        service = DetectionService(detector="window", shards=4,
+                                   max_entries=10_000)
+        served = replay_stream(service, records)
+        assert served == in_sim
+        # The cheater must actually have been flagged at some point,
+        # or the equality above proves nothing interesting.
+        assert any(in_sim["3"]), "cheater at PM=60 never flagged in-sim"
+        honest = [s for s in in_sim if s != "3"]
+        assert honest and all(not any(in_sim[s]) for s in honest)
+
+    def test_wire_round_trip_preserves_bit_identity(self):
+        """Same contract with the JSONL wire format in the middle."""
+        records, _ = record_scenario_stream(_scenario(seconds=0.25))
+        lines = [encode_record(r.sender, r.observation) for r in records]
+        service = DetectionService(detector="window", shards=4,
+                                   max_entries=10_000)
+        errors = io.StringIO()
+        ingested, rejected = ingest_stream(service, lines, errors=errors)
+        assert rejected == 0 and ingested == len(records)
+        for sender, sequence in recorded_verdicts(records).items():
+            snapshot = service.store.get(sender)
+            assert snapshot["observations"] == len(sequence)
+            assert snapshot["flagged"] == sequence[-1]
+            assert snapshot["flagged_observations"] == sum(sequence)
+
+
+# ----------------------------------------------------------------------
+# Load generator (bench correctness at toy scale)
+# ----------------------------------------------------------------------
+class TestLoadgen:
+    def test_generate_stream_is_deterministic(self):
+        from repro.service import BenchConfig, generate_stream
+
+        config = BenchConfig(senders=500, observations=1_500, seed=9)
+        one, cheaters_one = generate_stream(config)
+        two, cheaters_two = generate_stream(config)
+        assert one == two and cheaters_one == cheaters_two
+        assert len(one) == 1_500
+        assert len({sender for sender, _ in one}) == 500
+
+    def test_run_bench_invariants_at_toy_scale(self):
+        from repro.service import BenchConfig, run_bench
+
+        config = BenchConfig(senders=2_000, observations=8_000,
+                             shards=2, max_entries=400, seed=3)
+        result = run_bench(config)  # asserts honest-never-flagged
+        assert result.distinct_senders == 2_000
+        assert result.evictions > 0
+        assert result.flagged > 0
+        assert result.obs_per_sec > 0
+        record = result.to_record()
+        assert record["observations"] == 8_000
+        assert record["p99_flag_latency_ms"] is not None
+
+    def test_config_validation(self):
+        from repro.service import BenchConfig
+
+        with pytest.raises(ValueError, match="senders"):
+            BenchConfig(senders=0)
+        with pytest.raises(ValueError, match="observations"):
+            BenchConfig(senders=100, observations=50)
+        with pytest.raises(ValueError, match="cheater_fraction"):
+            BenchConfig(cheater_fraction=1.5)
+        with pytest.raises(ValueError, match="pm"):
+            BenchConfig(pm=0.0)
+
+    def test_trajectory_append_and_baseline(self, tmp_path):
+        from repro.service.loadgen import append_trajectory
+
+        path = tmp_path / "BENCH_service.json"
+        first = {"obs_per_sec": 100_000, "utc": "2026-01-01T00:00:00+00:00"}
+        baseline = append_trajectory(path, "quick", first)
+        assert baseline == first
+        second = {"obs_per_sec": 90_000, "utc": "2026-01-02T00:00:00+00:00"}
+        baseline = append_trajectory(path, "quick", second)
+        assert baseline == first  # sticky until rebased
+        baseline = append_trajectory(path, "quick", second, rebase=True)
+        assert baseline == second
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert len(data["trajectory"]) == 3
