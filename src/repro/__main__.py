@@ -581,11 +581,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return _serve_forever(args)
 
 
-def _service_geometry(args) -> tuple[int, int]:
-    """(shards, per-shard entries) from flags, env knobs, defaults."""
+def _service_geometry(args) -> tuple[int, int, int]:
+    """(shards, per-shard entries, workers) from flags, env knobs,
+    defaults."""
     from repro.experiments.settings import (
         service_shard_entries,
         service_shards,
+        service_workers,
     )
     from repro.service.store import DEFAULT_MAX_ENTRIES, DEFAULT_SHARDS
 
@@ -595,7 +597,10 @@ def _service_geometry(args) -> tuple[int, int]:
     entries = args.max_entries
     if entries is None:
         entries = service_shard_entries() or DEFAULT_MAX_ENTRIES
-    return shards, entries
+    workers = args.workers
+    if workers is None:
+        workers = service_workers() or 1
+    return shards, entries, workers
 
 
 def _serve_emit_trace(args: argparse.Namespace) -> int:
@@ -641,21 +646,27 @@ def _serve_bench(args: argparse.Namespace) -> int:
         overrides["max_entries"] = args.max_entries
     if args.detector != "window":
         overrides["detector"] = args.detector
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     config = dataclasses.replace(base, **overrides)
+    # Multi-worker runs land under their own per-scale baseline key:
+    # a 4-worker obs/sec is not comparable to the in-process number.
+    scale_key = scale if config.workers == 1 else f"{scale}-w{config.workers}"
 
     result = run_bench(config)
     record = result.to_record()
     record["utc"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
-    record["scale"] = scale
+    record["scale"] = scale_key
     if args.bench_out != "-":
-        append_trajectory(pathlib.Path(args.bench_out), scale, record)
+        append_trajectory(pathlib.Path(args.bench_out), scale_key, record)
 
     if args.json:
         print(_json.dumps(record, indent=2))
         return 0
     p99 = record["p99_flag_latency_ms"]
-    print(f"service bench [{scale}]: detector={config.detector} "
-          f"shards={config.shards} x {config.max_entries} entries")
+    print(f"service bench [{scale_key}]: detector={config.detector} "
+          f"shards={config.shards} x {config.max_entries} entries, "
+          f"workers={config.workers} ({record['cores']} core(s))")
     print(f"  observations:      {result.observations:>12,}")
     print(f"  distinct senders:  {result.distinct_senders:>12,}")
     print(f"  sustained rate:    {result.obs_per_sec:>12,.0f} obs/sec")
@@ -675,15 +686,42 @@ def _serve_forever(args: argparse.Namespace) -> int:
 
     from repro.service import (
         DetectionService,
+        FlagSpool,
+        IngestWorkerPool,
         ServiceHTTPServer,
+        SpoolError,
         TcpIngestServer,
         ingest_stream,
+        spool_path,
     )
 
-    shards, entries = _service_geometry(args)
-    service = DetectionService(
-        detector=args.detector, shards=shards, max_entries=entries
-    )
+    shards, entries, workers = _service_geometry(args)
+    try:
+        if workers > 1:
+            service = IngestWorkerPool(
+                workers=workers,
+                detector=args.detector,
+                shards=shards,
+                max_entries=entries,
+                spool_dir=args.spool_dir,
+            )
+        else:
+            spool = None
+            if args.spool_dir is not None:
+                spool = FlagSpool(
+                    spool_path(args.spool_dir, 0, 1), detector=args.detector
+                )
+            service = DetectionService(
+                detector=args.detector, shards=shards,
+                max_entries=entries, spool=spool,
+            )
+    except SpoolError as exc:
+        print(f"spool error: {exc}", file=sys.stderr)
+        return 2
+    if args.spool_dir is not None:
+        print(f"flag spool in {args.spool_dir}: "
+              f"{service.replayed_flags} event(s) replayed",
+              file=sys.stderr, flush=True)
     http_server = ServiceHTTPServer(service, host=args.host, port=args.port)
     http_thread = threading.Thread(
         target=http_server.serve_forever, daemon=True, name="serve-http"
@@ -691,7 +729,7 @@ def _serve_forever(args: argparse.Namespace) -> int:
     http_thread.start()
     host, port = http_server.server_address[:2]
     print(f"serving detector {args.detector!r} "
-          f"({shards} shard(s) x {entries} entries) "
+          f"({workers} worker(s), {shards} shard(s) x {entries} entries) "
           f"on http://{host}:{port}", file=sys.stderr, flush=True)
 
     tcp_server = None
@@ -723,6 +761,7 @@ def _serve_forever(args: argparse.Namespace) -> int:
         if tcp_server is not None:
             tcp_server.shutdown()
         http_server.shutdown()
+        service.close()
     return 0
 
 
@@ -900,6 +939,16 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="N",
                          help="per-shard LRU entry budget (default: "
                               "REPRO_SERVICE_ENTRIES or 10000)")
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="ingest worker processes, each owning a "
+                              "disjoint crc32 sender range (default: "
+                              "REPRO_SERVICE_WORKERS or 1 = in-process); "
+                              "with --bench, benches the worker pool")
+    p_serve.add_argument("--spool-dir", default=None, metavar="DIR",
+                         help="persist first-flag events to crc32-"
+                              "checksummed spools in DIR; a restarted "
+                              "service replays them before accepting "
+                              "traffic (crash-safe flag history)")
     p_serve.add_argument("--host", default="127.0.0.1",
                          help="bind address (default: 127.0.0.1)")
     p_serve.add_argument("--port", type=int, default=0,

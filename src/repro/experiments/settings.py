@@ -32,10 +32,11 @@ Beyond the scale selection this module also centralises the other
   :class:`repro.sim.engine.Watchdog` inside every scenario build, so
   a stuck simulation raises ``SimulationStalled`` with an event trace
   instead of spinning forever;
-* ``REPRO_SERVICE_SHARDS`` / ``REPRO_SERVICE_ENTRIES`` — default
-  geometry of the online detection service's sharded state store
-  (``python -m repro serve``): shard count and per-shard LRU entry
-  budget (see :mod:`repro.service`).  CLI flags override both.
+* ``REPRO_SERVICE_SHARDS`` / ``REPRO_SERVICE_ENTRIES`` /
+  ``REPRO_SERVICE_WORKERS`` — default geometry of the online
+  detection service (``python -m repro serve``): shard count,
+  per-shard LRU entry budget, and ingest worker processes (see
+  :mod:`repro.service`).  CLI flags override all three.
 
 A knob counts as "set" when its value is non-empty and not ``"0"``,
 so ``REPRO_CACHE=0`` is an explicit off.
@@ -198,6 +199,12 @@ def service_shard_entries() -> Optional[int]:
     """Per-shard LRU budget from ``REPRO_SERVICE_ENTRIES`` (None: the
     service default, :data:`repro.service.store.DEFAULT_MAX_ENTRIES`)."""
     return _env_number("REPRO_SERVICE_ENTRIES", int, 1)
+
+
+def service_workers() -> Optional[int]:
+    """Ingest worker processes from ``REPRO_SERVICE_WORKERS`` (None:
+    single-process; the ``serve --workers`` flag overrides)."""
+    return _env_number("REPRO_SERVICE_WORKERS", int, 1)
 
 
 def watchdog_from_env() -> Optional[Watchdog]:

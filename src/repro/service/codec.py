@@ -19,7 +19,7 @@ mis-read observation would corrupt verdicts downstream.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 from repro.detect.base import (
     OBSERVATION_SCHEMA_VERSION,
@@ -45,6 +45,38 @@ def encode_record(sender: str, observation: Observation) -> str:
     record = observation.to_dict()
     record["sender"] = sender
     return json.dumps(record, separators=(",", ":"), sort_keys=True)
+
+
+#: What ``encode_record``'s compact sorted JSON puts before the sender
+#: value — the anchor :func:`sender_of_line` scans for.
+_SENDER_MARKER = '"sender":"'
+
+
+def sender_of_line(line: str) -> Optional[str]:
+    """Best-effort sender key of a wire line, without a JSON parse.
+
+    The multi-worker front-end routes each line by ``crc32(sender)``
+    before any worker decodes it; a full :func:`json.loads` per line
+    would put the whole decode cost back on the routing process.  This
+    scans for the ``"sender":"..."`` span that :func:`encode_record`'s
+    compact sorted JSON always produces.  Returns ``None`` when the
+    span is absent or contains JSON escapes (a sender with quotes or
+    backslashes) — callers then fall back to :func:`decode_record`,
+    which settles whether the line is malformed or merely exotic.
+    Never wrong, only occasionally undecided: a non-``None`` return
+    always equals the sender :func:`decode_record` would yield.
+    """
+    start = line.find(_SENDER_MARKER)
+    if start < 0:
+        return None
+    start += len(_SENDER_MARKER)
+    end = line.find('"', start)
+    if end <= start:
+        return None
+    sender = line[start:end]
+    if "\\" in sender or len(sender) > MAX_SENDER_LENGTH:
+        return None
+    return sender
 
 
 def decode_record(line: str) -> Tuple[str, Observation]:

@@ -28,14 +28,18 @@ gates the obs/sec floor in CI.
 
 from __future__ import annotations
 
+import math
+import os
 import random
 import time
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.detect.base import Observation
+from repro.service.codec import encode_record
 from repro.service.ingest import DetectionService
+from repro.service.workers import IngestWorkerPool
 
 #: Distinct ``b_exp`` values cycled through the stream (pre-built
 #: observations keep the generated stream's memory footprint flat).
@@ -70,6 +74,14 @@ class BenchConfig:
         Detector spec served.
     seed:
         Generator seed; the stream is deterministic given the config.
+    workers:
+        Ingest worker processes.  1 (the default) benches the
+        in-process :class:`DetectionService` hot path; > 1 benches an
+        :class:`~repro.service.workers.IngestWorkerPool` end to end —
+        pre-encoded wire lines routed by the front-end, decoded and
+        folded in by the workers — with each worker's per-shard entry
+        budget scaled to ``max_entries // workers`` so the aggregate
+        LRU budget matches the single-process geometry.
     """
 
     senders: int = 120_000
@@ -81,10 +93,13 @@ class BenchConfig:
     max_entries: int = 10_000
     detector: str = "window"
     seed: int = 1
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.senders < 1:
             raise ValueError(f"senders must be >= 1, got {self.senders}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
         if self.observations < self.senders:
             raise ValueError(
                 f"observations ({self.observations}) must be >= senders "
@@ -118,6 +133,8 @@ class BenchResult:
         """Trajectory-file payload (see ``benchmarks/README.md``)."""
         return {
             "runs": 1,
+            "workers": self.config.workers,
+            "cores": available_cores(),
             "senders": self.config.senders,
             "observations": self.observations,
             "distinct_senders": self.distinct_senders,
@@ -134,6 +151,36 @@ class BenchResult:
                 else round(self.p99_flag_latency_s * 1e3, 3)
             ),
         }
+
+
+def available_cores() -> int:
+    """CPU cores this process may actually run on.
+
+    Recorded in every bench record: a multi-worker obs/sec number is
+    meaningless without knowing whether the host could run the
+    workers in parallel at all (a 4-worker pool on a 1-core container
+    measures routing overhead, not speedup).
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def p99_latency(sorted_latencies: Sequence[float]) -> Optional[float]:
+    """Nearest-rank p99 of an already-sorted latency sample.
+
+    Nearest-rank: the smallest value with at least 99 % of the sample
+    at or below it — ``ceil(0.99 * n)`` in 1-based rank.  The naive
+    ``int(0.99 * n) - 1`` index is wrong for small samples (it picks
+    the *minimum* of a 2-element sample); with nearest-rank, any
+    sample of fewer than 100 values answers its maximum, which is the
+    honest p99 of a tiny sample.
+    """
+    if not sorted_latencies:
+        return None
+    rank = math.ceil(0.99 * len(sorted_latencies))
+    return sorted_latencies[rank - 1]
 
 
 def zipf_cumulative(n: int, s: float) -> List[float]:
@@ -198,6 +245,12 @@ def generate_stream(
 def run_bench(config: BenchConfig) -> BenchResult:
     """Generate a stream, time the ingest hot path, check invariants.
 
+    ``workers == 1`` times the in-process hot path; ``workers > 1``
+    times an :class:`~repro.service.workers.IngestWorkerPool` fed
+    pre-encoded wire lines (encoding happens before the clock starts;
+    the measured span is route + ship + worker decode + fold, closed
+    by a :meth:`~repro.service.workers.IngestWorkerPool.barrier`).
+
     Raises ``AssertionError`` if the service misjudges: a flagged
     sender that is not a cheater (honest observations carry zero
     deficit, so the window detector must never flag one), or zero
@@ -205,6 +258,9 @@ def run_bench(config: BenchConfig) -> BenchResult:
     """
     stream, cheaters = generate_stream(config)
     distinct = len({sender for sender, _ in stream})
+    if config.workers > 1:
+        return _run_bench_pool(config, stream, cheaters, distinct)
+
     service = DetectionService(
         detector=config.detector,
         shards=config.shards,
@@ -217,25 +273,12 @@ def run_bench(config: BenchConfig) -> BenchResult:
         ingest(sender, observation)
     wall = time.perf_counter() - start
 
-    events, _ = service.verdicts.events_after(0)
+    events, _, _ = service.verdicts.events_after(0)
     flagged_senders = {event["sender"] for event in events}
-    rogue = flagged_senders - cheaters
-    assert not rogue, (
-        f"{len(rogue)} honest sender(s) flagged (e.g. "
-        f"{sorted(rogue)[:5]}): the served detector misjudged a "
-        f"zero-deficit stream"
-    )
-    if cheaters:
-        assert flagged_senders, (
-            "no sender flagged despite "
-            f"{len(cheaters)} cheaters in the stream"
-        )
+    _assert_judgement(flagged_senders, cheaters)
 
     latencies = sorted(service.verdicts.latencies())
-    p99 = (
-        latencies[max(0, int(0.99 * len(latencies)) - 1)]
-        if latencies else None
-    )
+    p99 = p99_latency(latencies)
     stats = service.stats()
     return BenchResult(
         config=config,
@@ -249,6 +292,65 @@ def run_bench(config: BenchConfig) -> BenchResult:
         evictions=stats["store"]["evictions"],
         stats=stats,
     )
+
+
+def _run_bench_pool(
+    config: BenchConfig,
+    stream: List[Tuple[str, Observation]],
+    cheaters: frozenset,
+    distinct: int,
+) -> BenchResult:
+    lines = [encode_record(sender, obs) for sender, obs in stream]
+    pool = IngestWorkerPool(
+        workers=config.workers,
+        detector=config.detector,
+        shards=config.shards,
+        # Aggregate LRU budget equals the single-process geometry.
+        max_entries=max(1, config.max_entries // config.workers),
+    )
+    try:
+        start = time.perf_counter()
+        pool.ingest_lines(lines)
+        pool.barrier()
+        wall = time.perf_counter() - start
+
+        payload = pool.api_verdicts(None, None)
+        flagged_senders = {event["sender"] for event in payload["events"]}
+        _assert_judgement(flagged_senders, cheaters)
+
+        latencies = sorted(
+            event["latency_s"] for event in payload["events"]
+        )
+        p99 = p99_latency(latencies)
+        stats = pool.api_stats()
+    finally:
+        pool.close()
+    return BenchResult(
+        config=config,
+        wall_s=wall,
+        observations=len(stream),
+        distinct_senders=distinct,
+        obs_per_sec=len(stream) / wall,
+        p99_flag_latency_s=p99,
+        flagged=len(flagged_senders),
+        cheaters=len(cheaters),
+        evictions=stats["store"]["evictions"],
+        stats=stats,
+    )
+
+
+def _assert_judgement(flagged_senders: set, cheaters: frozenset) -> None:
+    rogue = flagged_senders - cheaters
+    assert not rogue, (
+        f"{len(rogue)} honest sender(s) flagged (e.g. "
+        f"{sorted(rogue)[:5]}): the served detector misjudged a "
+        f"zero-deficit stream"
+    )
+    if cheaters:
+        assert flagged_senders, (
+            "no sender flagged despite "
+            f"{len(cheaters)} cheaters in the stream"
+        )
 
 
 #: Bench geometries by scale name (the CLI's and the bench test's

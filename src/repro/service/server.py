@@ -1,27 +1,39 @@
-"""HTTP query API over a :class:`~repro.service.ingest.DetectionService`.
+"""HTTP query API over the detection service (single- or multi-process).
 
 Pure stdlib (``http.server.ThreadingHTTPServer``) — the service must
-run anywhere the simulator runs.  All responses are JSON.
+run anywhere the simulator runs.  All responses are JSON.  The server
+drives the query surface shared by
+:class:`~repro.service.ingest.DetectionService` and
+:class:`~repro.service.workers.IngestWorkerPool` (``api_stats`` /
+``api_verdicts`` / ``api_watch`` / ``api_sender``), so one binary
+serves both the single-process and the multi-worker geometry.
 
 Endpoints
 ---------
 ``GET /stats``
-    Ingest rates, per-shard occupancy, eviction and flag counters.
-``GET /verdicts[?after=ID&limit=N]``
-    First-flag events (id, sender, stream time, observations-to-flag,
-    wall latency) with id > ``after``, plus ``next`` — the id to pass
-    back as ``after`` on the next poll — and the currently-flagged
-    resident senders.
+    Ingest rates, per-shard occupancy, eviction and flag counters
+    (multi-worker: merged totals plus a ``per_worker`` breakdown).
+``GET /verdicts[?after=CURSOR&limit=N]``
+    First-flag events after ``CURSOR``, plus ``next`` — the cursor to
+    pass back as ``after`` on the next poll — the currently-flagged
+    resident senders, and the retention fields a resuming watcher
+    needs: ``dropped`` (flag events aged out of the capped log) and
+    ``gap`` (true when events between ``CURSOR`` and the retained
+    window were dropped — the poller can never see them).  The
+    single-process cursor is the newest event id (an integer);
+    multi-worker cursors are opaque dot-joined per-worker tokens —
+    always echo ``next`` back verbatim.
 ``GET /senders/<id>``
     One sender's resident detector state: verdict, counters, bounded
     flag/clear transition log.  404 when the sender was never seen
     *or* was evicted under the entry budget (the body says which
     cannot be distinguished, by design: bounded memory).
-``GET /watch[?after=ID&timeout=S]``
-    Long-poll ``/verdicts``: blocks until a first-flag event with
-    id > ``after`` exists or the timeout (default 30 s, capped at
+``GET /watch[?after=CURSOR&timeout=S]``
+    Long-poll ``/verdicts``: blocks until a first-flag event after
+    ``CURSOR`` exists or the timeout (default 30 s, capped at
     ``MAX_WATCH_TIMEOUT``) passes, then answers like ``/verdicts``
-    (possibly with an empty event list on timeout).
+    (possibly with an empty event list on timeout), including the
+    same ``dropped``/``gap`` retention fields.
 """
 
 from __future__ import annotations
@@ -29,8 +41,6 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
-
-from repro.service.ingest import DetectionService
 
 #: Upper bound on a single ``/watch`` long-poll (seconds).
 MAX_WATCH_TIMEOUT = 120.0
@@ -42,13 +52,13 @@ class _ApiHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
-        service: DetectionService = self.server.service  # type: ignore
+        service = self.server.service  # type: ignore[attr-defined]
         url = urlsplit(self.path)
         query = parse_qs(url.query)
         path = url.path.rstrip("/") or "/"
         try:
             if path == "/stats":
-                self._json(200, service.stats())
+                self._json(200, service.api_stats())
             elif path == "/verdicts":
                 self._verdicts(service, query)
             elif path == "/watch":
@@ -65,29 +75,31 @@ class _ApiHandler(BaseHTTPRequestHandler):
             self._json(400, {"error": str(exc)})
 
     # ------------------------------------------------------------------
-    def _verdicts(self, service: DetectionService, query) -> None:
-        after = _int_param(query, "after", 0, minimum=0)
+    def _verdicts(self, service, query) -> None:
+        after = _str_param(query, "after")
         limit = _int_param(query, "limit", None, minimum=1)
-        events, next_id = service.verdicts.events_after(after, limit)
-        self._json(200, {
-            "events": events,
-            "next": next_id,
-            "flagged": service.store.flagged_senders(),
-        })
+        try:
+            payload = service.api_verdicts(after, limit)
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        self._json(200, payload)
 
-    def _watch(self, service: DetectionService, query) -> None:
-        after = _int_param(query, "after", 0, minimum=0)
+    def _watch(self, service, query) -> None:
+        after = _str_param(query, "after")
         limit = _int_param(query, "limit", None, minimum=1)
         timeout = _float_param(query, "timeout", 30.0, minimum=0.0)
-        events, next_id = service.verdicts.wait_for(
-            after, timeout=min(timeout, MAX_WATCH_TIMEOUT), limit=limit
-        )
-        self._json(200, {"events": events, "next": next_id})
+        try:
+            payload = service.api_watch(
+                after, timeout=min(timeout, MAX_WATCH_TIMEOUT), limit=limit
+            )
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from None
+        self._json(200, payload)
 
-    def _sender(self, service: DetectionService, sender: str) -> None:
+    def _sender(self, service, sender: str) -> None:
         if not sender:
             raise _BadRequest("empty sender id (use /senders/<id>)")
-        snapshot = service.store.get(sender)
+        snapshot = service.api_sender(sender)
         if snapshot is None:
             self._json(404, {
                 "error": f"sender {sender!r} is not resident: never "
@@ -112,6 +124,11 @@ class _ApiHandler(BaseHTTPRequestHandler):
 
 class _BadRequest(ValueError):
     pass
+
+
+def _str_param(query, name):
+    values = query.get(name)
+    return values[-1] if values else None
 
 
 def _int_param(query, name, default, minimum):
@@ -149,7 +166,10 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     """The query API bound to ``host:port`` (port 0 = ephemeral).
 
     ``serve_forever()`` on a thread; ``shutdown()`` to stop.  The
-    bound port is ``server.server_address[1]``.
+    bound port is ``server.server_address[1]``.  ``service`` may be a
+    :class:`~repro.service.ingest.DetectionService` or an
+    :class:`~repro.service.workers.IngestWorkerPool` — the handler
+    only drives the shared ``api_*`` query surface.
     """
 
     daemon_threads = True
@@ -157,7 +177,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        service: DetectionService,
+        service,
         host: str = "127.0.0.1",
         port: int = 0,
     ):

@@ -43,6 +43,11 @@ DEFAULT_TRANSITION_CAP = 64
 _FREE_POOL_CAP = 32
 
 
+#: Routing-domain suffix of :func:`worker_of` (see its docstring for
+#: why a *suffix*, not a seed or prefix).
+_WORKER_SUFFIX = b"\x00wrkr"
+
+
 def shard_of(sender: str, shards: int) -> int:
     """Deterministic shard index for a sender key.
 
@@ -51,6 +56,30 @@ def shard_of(sender: str, shards: int) -> int:
     must agree on placement.
     """
     return zlib.crc32(sender.encode("utf-8")) % shards
+
+
+def worker_of(sender: str, workers: int) -> int:
+    """Deterministic ingest-worker index for a sender key.
+
+    Same determinism argument as :func:`shard_of` — the front-end
+    router, every worker, the spool replayer and the tests must agree
+    on which worker owns a sender.  Hashed differently from
+    :func:`shard_of` on purpose: with the same hash, the senders
+    routed to worker ``k`` of ``N`` would all satisfy ``crc32 % N ==
+    k``, so a worker-local store with ``shards`` a multiple of ``N``
+    would fill only ``shards / N`` of its shards (e.g. 2 of 8 with 4
+    workers) — one residue class per worker.
+
+    The decorrelation has to be a fixed *suffix*: crc32 is
+    GF(2)-linear, so a different seed (or a fixed prefix, which is
+    just a different initial state) only XORs the checksum of a
+    same-length key by a constant and leaves the two placements
+    correlated.  Appending a suffix multiplies the state by a
+    bit-mixing polynomial matrix instead, making the worker index
+    depend on all bits of the key's checksum (asserted in
+    ``tests/test_service_workers.py``).
+    """
+    return zlib.crc32(sender.encode("utf-8") + _WORKER_SUFFIX) % workers
 
 
 @dataclass(frozen=True)

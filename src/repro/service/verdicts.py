@@ -13,9 +13,12 @@ capped append-only list with monotonically increasing event ids, so:
 * the bench can compute p99 first-sight-to-flag latency from the
   recorded wall-clock pairs without instrumenting the hot path.
 
-When the cap is reached the *oldest* events are dropped and counted
-(``dropped`` in :meth:`stats`); a watcher that resumes from an id
-older than the retained window is told so via the ``oldest`` field.
+When the cap is reached the *oldest* events are dropped and counted;
+every read therefore reports ``oldest`` (the oldest retained id, or
+``None`` on an empty log) and ``dropped`` alongside the events, so a
+watcher resuming from an id older than the retained window can see
+that flags fell out of its view instead of silently missing them:
+``after + 1 < oldest`` means ids in ``(after, oldest)`` are gone.
 """
 
 from __future__ import annotations
@@ -27,6 +30,17 @@ from repro.service.store import FlagEvent
 
 #: Default first-flag events retained (one per ever-flagged sender).
 DEFAULT_VERDICT_CAP = 1_000_000
+
+
+def event_payload(event_id: int, event: FlagEvent) -> Dict[str, object]:
+    """The wire-facing dict for one logged flag event."""
+    return {
+        "id": event_id,
+        "sender": event.sender,
+        "time_us": event.time_us,
+        "observations": event.observations,
+        "latency_s": round(event.wall - event.first_obs_wall, 6),
+    }
 
 
 class VerdictLog:
@@ -57,10 +71,12 @@ class VerdictLog:
     # ------------------------------------------------------------------
     def events_after(
         self, after: int = 0, limit: Optional[int] = None,
-    ) -> Tuple[List[Dict[str, object]], int]:
-        """Events with id > ``after`` as dicts, plus the newest id.
+    ) -> Tuple[List[Dict[str, object]], int, Dict[str, object]]:
+        """Events with id > ``after`` as dicts, the newest id, and the
+        retention info dict (``oldest`` retained id + ``dropped``
+        count).
 
-        The returned id is what a pollers passes back as ``after`` on
+        The returned id is what a poller passes back as ``after`` on
         its next call, whether or not anything new arrived.
         """
         with self._condition:
@@ -71,7 +87,7 @@ class VerdictLog:
         after: int = 0,
         timeout: float = 30.0,
         limit: Optional[int] = None,
-    ) -> Tuple[List[Dict[str, object]], int]:
+    ) -> Tuple[List[Dict[str, object]], int, Dict[str, object]]:
         """Long-poll: block until an event with id > ``after`` exists
         (or ``timeout`` seconds pass), then return like
         :meth:`events_after`."""
@@ -81,25 +97,43 @@ class VerdictLog:
             )
             return self._snapshot(after, limit)
 
+    def raw_events_after(
+        self, after: int = 0, limit: Optional[int] = None,
+    ) -> Tuple[List[Tuple[int, FlagEvent]], int, Dict[str, object]]:
+        """Like :meth:`events_after` but with raw ``(id, FlagEvent)``
+        pairs — the scatter-gather path needs the original wall clocks
+        to merge worker streams into one chronological order."""
+        with self._condition:
+            fresh = [
+                (event_id, event)
+                for event_id, event in self._events
+                if event_id > after
+            ]
+            newest = self._next_id - 1
+            if limit is not None and len(fresh) > limit:
+                fresh = fresh[:limit]
+                newest = fresh[-1][0]
+            return fresh, newest, self._retention()
+
     def _snapshot(
         self, after: int, limit: Optional[int],
-    ) -> Tuple[List[Dict[str, object]], int]:
+    ) -> Tuple[List[Dict[str, object]], int, Dict[str, object]]:
         newest = self._next_id - 1
         fresh = [
-            {
-                "id": event_id,
-                "sender": event.sender,
-                "time_us": event.time_us,
-                "observations": event.observations,
-                "latency_s": round(event.wall - event.first_obs_wall, 6),
-            }
+            event_payload(event_id, event)
             for event_id, event in self._events
             if event_id > after
         ]
         if limit is not None and len(fresh) > limit:
             fresh = fresh[:limit]
             newest = fresh[-1]["id"]
-        return fresh, newest
+        return fresh, newest, self._retention()
+
+    def _retention(self) -> Dict[str, object]:
+        return {
+            "oldest": self._events[0][0] if self._events else None,
+            "dropped": self._dropped,
+        }
 
     # ------------------------------------------------------------------
     def latencies(self) -> List[float]:

@@ -41,6 +41,7 @@ from repro.service import (
     record_scenario_stream,
     recorded_verdicts,
     replay_stream,
+    sender_of_line,
     shard_of,
 )
 from repro.service.store import FlagEvent
@@ -110,6 +111,34 @@ class TestCodec:
                  encode_record("b", obs(2, 2))]
         decoded = list(decode_lines(lines))
         assert [sender for sender, _ in decoded] == ["a", "b"]
+
+    def test_sender_of_line_matches_decode(self):
+        for sender in ("3", "node-x", "a b", "station_42"):
+            line = encode_record(sender, obs(31, 7))
+            assert sender_of_line(line) == sender
+            assert sender_of_line(line) == decode_record(line)[0]
+
+    def test_sender_of_line_undecided_never_wrong(self):
+        """The scan may answer None (undecided) but never a sender
+        different from the strict decoder's."""
+        # Escaped sender: the raw span contains backslashes -> None.
+        record = obs(31, 7).to_dict()
+        record["sender"] = 'quo"te\\'
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        assert sender_of_line(line) is None
+        assert decode_record(line)[0] == 'quo"te\\'
+        # Non-ASCII sender: json.dumps \u-escapes it -> None, and the
+        # strict decoder still recovers the real key.
+        unicode_line = encode_record("ü", obs(31, 7))
+        assert sender_of_line(unicode_line) is None
+        assert decode_record(unicode_line)[0] == "ü"
+        # No sender span at all -> None (decode rejects too).
+        assert sender_of_line(json.dumps(obs(31, 7).to_dict())) is None
+        # Oversized span -> None, deferring to decode's rejection.
+        record["sender"] = "x" * 300
+        long_line = json.dumps(record, separators=(",", ":"),
+                               sort_keys=True)
+        assert sender_of_line(long_line) is None
 
 
 # ----------------------------------------------------------------------
@@ -243,18 +272,19 @@ class TestVerdictLog:
         log = VerdictLog()
         for i in range(5):
             log.publish(_flag_event(str(i)))
-        events, newest = log.events_after(2)
+        events, newest, info = log.events_after(2)
         assert [e["id"] for e in events] == [3, 4, 5]
         assert newest == 5
+        assert info == {"oldest": 1, "dropped": 0}
         assert events[0]["latency_s"] == pytest.approx(0.5)
-        events, newest = log.events_after(5)
+        events, newest, _ = log.events_after(5)
         assert events == [] and newest == 5
 
     def test_limit_moves_cursor_to_last_returned(self):
         log = VerdictLog()
         for i in range(5):
             log.publish(_flag_event(str(i)))
-        events, newest = log.events_after(0, limit=2)
+        events, newest, _ = log.events_after(0, limit=2)
         assert [e["id"] for e in events] == [1, 2]
         assert newest == 2  # resuming from here misses nothing
 
@@ -265,26 +295,35 @@ class TestVerdictLog:
         stats = log.stats()
         assert stats == {"flags": 5, "retained": 3, "dropped": 2,
                          "oldest": 3, "cap": 3}
-        events, _ = log.events_after(0)
+        events, _, info = log.events_after(0)
         assert [e["id"] for e in events] == [3, 4, 5]
+        # The docstring's promise: every read reports the retained
+        # window, so a resuming poller can detect its gap.
+        assert info == {"oldest": 3, "dropped": 2}
+
+    def test_empty_log_reports_no_oldest(self):
+        events, newest, info = VerdictLog().events_after(0)
+        assert events == [] and newest == 0
+        assert info == {"oldest": None, "dropped": 0}
 
     def test_wait_for_returns_immediately_when_ready(self):
         log = VerdictLog()
         log.publish(_flag_event("3"))
-        events, newest = log.wait_for(0, timeout=0.01)
+        events, newest, _ = log.wait_for(0, timeout=0.01)
         assert [e["id"] for e in events] == [1]
 
     def test_wait_for_times_out_empty(self):
         log = VerdictLog()
-        events, newest = log.wait_for(0, timeout=0.01)
+        events, newest, info = log.wait_for(0, timeout=0.01)
         assert events == [] and newest == 0
+        assert info == {"oldest": None, "dropped": 0}
 
     def test_wait_for_wakes_on_publish(self):
         log = VerdictLog()
         got = {}
 
         def wait():
-            got["events"], got["newest"] = log.wait_for(0, timeout=5.0)
+            got["events"], got["newest"], _ = log.wait_for(0, timeout=5.0)
 
         waiter = threading.Thread(target=wait)
         waiter.start()
@@ -333,6 +372,77 @@ class TestDetectionService:
         assert flagged
         assert service.stats()["detector"] == "cusum:h=2.0,k=0.25"
 
+    def test_concurrent_counters_are_exact(self):
+        """Counter updates from many ingest threads must not lose
+        increments: ``_ingested``/``decode_errors``/``disconnects``
+        are lock-guarded, and an unlocked ``+=`` would silently skew
+        them (this hammer fails reliably without the lock)."""
+        service = DetectionService(shards=4, max_entries=1_000)
+        threads_n, per_thread = 8, 2_000
+        start_gate = threading.Barrier(threads_n)
+
+        def hammer(worker):
+            start_gate.wait()
+            for i in range(per_thread):
+                service.ingest_observation(
+                    f"{worker}-{i % 50}", obs(1.0, 1.0, time_us=i)
+                )
+                service.record_decode_error()
+                service.record_disconnect()
+
+        threads = [
+            threading.Thread(target=hammer, args=(n,))
+            for n in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+        stats = service.stats()
+        expected = threads_n * per_thread
+        assert stats["observations"] == expected
+        assert stats["decode_errors"] == expected
+        assert stats["disconnects"] == expected
+        assert service._ingested == expected
+
+    def test_gap_reported_when_cursor_precedes_retention(self):
+        """A poller resuming from before the retained window must see
+        the gap (dropped events it can never observe), not a silently
+        truncated history."""
+        service = DetectionService(shards=1, max_entries=64,
+                                   verdict_cap=3)
+        for i in range(6):  # six first flags through a cap-3 log
+            service.ingest_observation(f"cheat-{i}", obs(31.0, 0.0))
+        payload = service.api_verdicts("0")
+        assert [e["id"] for e in payload["events"]] == [4, 5, 6]
+        assert payload["oldest"] == 4
+        assert payload["dropped"] == 3
+        assert payload["gap"] is True  # ids 1..3 are unobservable
+        # Resuming from the returned cursor: no gap.
+        follow = service.api_verdicts(str(payload["next"]))
+        assert follow["events"] == [] and follow["gap"] is False
+        # A cursor exactly at the retention edge is not a gap either.
+        assert service.api_verdicts("3")["gap"] is False
+
+    def test_spool_replay_restores_flag_history(self, tmp_path):
+        from repro.service import FlagSpool, spool_path
+
+        path = spool_path(tmp_path, 0, 1)
+        with FlagSpool(path, detector="window") as spool:
+            service = DetectionService(shards=1, max_entries=8,
+                                       spool=spool)
+            service.ingest_observation("cheat", obs(31.0, 0.0))
+            service.ingest_observation("honest", obs(1.0, 1.0))
+            before = service.api_verdicts("0")
+        with FlagSpool(path, detector="window") as spool:
+            restarted = DetectionService(shards=1, max_entries=8,
+                                         spool=spool)
+            assert restarted.replayed_flags == 1
+            after = restarted.api_verdicts("0")
+        assert after["events"] == before["events"]  # byte-identical
+        assert len(spool.replayed) == 1  # replay never re-appends
+
 
 class TestTcpIngest:
     def test_stream_over_socket(self):
@@ -361,6 +471,40 @@ class TestTcpIngest:
             stats = service.stats()
             assert stats["observations"] == 2
             assert stats["decode_errors"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_client_dying_mid_stream_is_counted_not_raised(self):
+        """A peer that resets the connection mid-record must not dump
+        a traceback from the handler thread: the reset is counted as a
+        disconnect and everything ingested before it survives."""
+        service = DetectionService(shards=1, max_entries=8)
+        server = TcpIngestServer(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            conn = socket.create_connection((host, port), timeout=5)
+            conn.sendall((encode_record("3", obs(31.0, 0.0)) + "\n"
+                          + '{"half a rec').encode())  # dies mid-line
+            deadline = 100
+            while service.stats()["observations"] < 1 and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            # SO_LINGER with zero timeout turns close() into a hard
+            # RST, which surfaces as ConnectionResetError server-side.
+            import struct
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            conn.close()
+            deadline = 100
+            while service.stats()["disconnects"] < 1 and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            stats = service.stats()
+            assert stats["disconnects"] == 1
+            assert stats["observations"] == 1  # pre-reset line folded in
         finally:
             server.shutdown()
             server.server_close()
@@ -460,6 +604,54 @@ class TestHttpApi:
         status, body = _get(f"{base}/watch?after=0&timeout=0.05")
         assert status == 200
         assert body["events"] == []
+        assert body["gap"] is False and body["dropped"] == 0
+
+    def test_verdicts_limit_walk_loses_nothing(self, api):
+        """Walking the full event list with ?limit=N across polls
+        (always resuming from the returned ``next``) must yield every
+        event exactly once, whatever N."""
+        base, service = api
+        for i in range(10):
+            service.ingest_observation(f"cheat-{i}", obs(31.0, 0.0))
+        for limit in (1, 3, 4, 10, 25):
+            walked, cursor, polls = [], 0, 0
+            while True:
+                status, body = _get(
+                    f"{base}/verdicts?after={cursor}&limit={limit}"
+                )
+                assert status == 200
+                assert len(body["events"]) <= limit
+                if not body["events"]:
+                    assert body["next"] == cursor
+                    break
+                walked.extend(e["id"] for e in body["events"])
+                cursor = body["next"]
+                polls += 1
+                assert polls <= 20, "cursor walk failed to terminate"
+            assert walked == list(range(1, 11))  # no loss, no dupes
+
+    def test_verdicts_gap_surfaces_over_http(self):
+        """Cap overflow between polls: the next poll's payload says
+        events were dropped instead of silently skipping them."""
+        service = DetectionService(shards=1, max_entries=64,
+                                   verdict_cap=2)
+        server = ServiceHTTPServer(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            base = f"http://{host}:{port}"
+            for i in range(5):
+                service.ingest_observation(f"cheat-{i}", obs(31.0, 0.0))
+            status, body = _get(f"{base}/verdicts?after=1")
+            assert status == 200
+            assert [e["id"] for e in body["events"]] == [4, 5]
+            assert body["oldest"] == 4
+            assert body["dropped"] == 3
+            assert body["gap"] is True  # ids 2 and 3 fell out of view
+        finally:
+            server.shutdown()
+            server.server_close()
 
 
 # ----------------------------------------------------------------------
@@ -565,6 +757,60 @@ class TestLoadgen:
             BenchConfig(cheater_fraction=1.5)
         with pytest.raises(ValueError, match="pm"):
             BenchConfig(pm=0.0)
+        with pytest.raises(ValueError, match="workers"):
+            BenchConfig(workers=0)
+
+    def test_p99_tiny_samples(self):
+        """Nearest-rank p99 on samples the naive ``int(0.99*n)-1``
+        index got wrong: it answered the *minimum* of a 2-element
+        sample (and crashed the spirit of p99 generally below n=100,
+        where the only honest answer is the maximum)."""
+        from repro.service import p99_latency
+
+        assert p99_latency([]) is None
+        assert p99_latency([0.7]) == 0.7
+        assert p99_latency([0.1, 0.9]) == 0.9  # naive formula said 0.1
+        assert p99_latency([0.1, 0.5, 0.9]) == 0.9
+        ninety_nine = [float(i) for i in range(1, 100)]
+        assert p99_latency(ninety_nine) == 99.0
+        hundred = [float(i) for i in range(1, 101)]
+        assert p99_latency(hundred) == 99.0  # rank ceil(99.0) = 99
+        two_hundred = [float(i) for i in range(1, 201)]
+        assert p99_latency(two_hundred) == 198.0  # rank ceil(198.0)
+
+    @pytest.mark.parametrize(
+        "config_kwargs, expected_flagged",
+        [
+            (dict(senders=50, observations=500, cheater_fraction=0.0), 0),
+            # cheater_every = round(1/fraction): 0.001 puts only rank
+            # 0 (the hottest) among the cheaters; 0.04 adds rank 25.
+            (dict(senders=20, observations=800,
+                  cheater_fraction=0.001), 1),
+            (dict(senders=50, observations=2_000,
+                  cheater_fraction=0.04), 2),
+        ],
+    )
+    def test_run_bench_p99_with_few_flagged_senders(
+        self, config_kwargs, expected_flagged,
+    ):
+        """The bench's p99 must be well-defined for 0, 1 and 2 flagged
+        senders — the regime where the old ``int(0.99*n)-1`` index
+        answered the minimum (n=2) or the question was vacuous (n=0).
+        The stream is deterministic given the seed, so the flagged
+        counts here are exact, not probabilistic."""
+        from repro.service import BenchConfig, run_bench
+
+        config = BenchConfig(shards=1, max_entries=1_000, seed=5,
+                             **config_kwargs)
+        result = run_bench(config)
+        assert result.flagged == expected_flagged
+        if expected_flagged == 0:
+            assert result.p99_flag_latency_s is None
+            assert result.to_record()["p99_flag_latency_ms"] is None
+        else:
+            assert result.p99_flag_latency_s is not None
+            assert result.p99_flag_latency_s >= 0.0
+            assert result.to_record()["p99_flag_latency_ms"] >= 0.0
 
     def test_trajectory_append_and_baseline(self, tmp_path):
         from repro.service.loadgen import append_trajectory
